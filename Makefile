@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench race fuzz experiments clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/faultsim/ ./internal/memsim/
+
+bench:
+	go test -bench=. -benchmem ./...
+
+fuzz:
+	go test -fuzz=FuzzCode64CRC8 -fuzztime=30s ./internal/ecc/
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/xedcodes    -experiment all
+	go run ./cmd/xedfaultsim -experiment all -systems 4000000
+	go run ./cmd/xedmemsim   -experiment all -instr 200000
+
+clean:
+	go clean ./...

@@ -1,0 +1,62 @@
+// Quickstart: build an XED-protected memory system, write data, kill a
+// whole DRAM chip at runtime, and watch every read come back correct.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"xedsim"
+	"xedsim/internal/core"
+	"xedsim/internal/dram"
+)
+
+func main() {
+	// A 9-chip ECC-DIMM with CRC8-ATM On-Die ECC, XED enabled. The
+	// small geometry keeps the functional model snappy.
+	sys := xedsim.NewSystem(xedsim.Config{
+		Geometry: dram.Geometry{Banks: 4, RowsPerBank: 64, ColsPerRow: 128},
+		Seed:     2024,
+	})
+
+	// Write a few cache lines.
+	lines := map[dram.WordAddr]core.Line{}
+	for i := 0; i < 8; i++ {
+		addr := dram.WordAddr{Bank: i % 4, Row: i, Col: i * 3}
+		var line core.Line
+		for b := range line {
+			line[b] = uint64(i)<<32 | uint64(b)
+		}
+		lines[addr] = line
+		sys.Write(addr, line)
+	}
+	fmt.Printf("wrote %d cache lines\n", len(lines))
+
+	// Clean reads.
+	for addr, want := range lines {
+		res := sys.Read(addr)
+		if res.Data != want || res.Outcome != core.OutcomeClean {
+			panic(fmt.Sprintf("clean read failed at %v: %+v", addr, res))
+		}
+	}
+	fmt.Println("all clean reads verified")
+
+	// Kill chip 3 outright — a runtime chip failure, the fault class
+	// that defeats a conventional ECC-DIMM (Figure 1 of the paper).
+	sys.InjectFault(3, dram.NewChipFault(false, 99))
+	fmt.Println("injected permanent whole-chip failure into chip 3")
+
+	for addr, want := range lines {
+		res := sys.Read(addr)
+		if res.Data != want {
+			panic(fmt.Sprintf("XED failed to correct at %v: %+v", addr, res))
+		}
+		fmt.Printf("  %v -> outcome=%v faultyChips=%v data ok\n", addr, res.Outcome, res.FaultyChips)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\ncontroller stats: %d reads, %d erasure corrections, %d catch-words seen, %d DUEs\n",
+		st.Reads, st.ErasureCorrections, st.CatchWordsSeen, st.DUEs)
+	fmt.Println("Chipkill-level protection from a commodity 9-chip DIMM — the XED result.")
+}

@@ -1,0 +1,3 @@
+module xedsim
+
+go 1.22

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/ecc"
+)
+
+// Baseline controllers the paper compares against. They drive the same
+// functional DRAM model but use conventional (concealed) On-Die ECC — the
+// chips never reveal detection information — so any protection must come
+// from the DIMM-level code alone. These exist so the examples and tests
+// can demonstrate Figure 1's point directly: a chip failure defeats
+// DIMM-level SECDED, survives Chipkill, and survives XED.
+
+// ECCDIMMController is the conventional 9-chip ECC-DIMM (§II-D1): per
+// 8-byte beat, the 64 data bits (one byte from each data chip) are
+// protected by an 8-bit SECDED code stored in the ninth chip. With On-Die
+// ECC present, this DIMM-level code only ever sees multi-bit damage — the
+// exact redundancy the paper calls "superfluous".
+type ECCDIMMController struct {
+	rank  *dram.Rank
+	code  ecc.Code64
+	stats Stats
+}
+
+// NewECCDIMMController wraps a 9-chip rank. The chips keep XED disabled;
+// the DIMM-level code is the classic (72,64) Hamming SECDED.
+func NewECCDIMMController(rank *dram.Rank) *ECCDIMMController {
+	if rank.Chips() != DataChips+1 {
+		panic(fmt.Sprintf("core: ECC-DIMM needs 9 chips, got %d", rank.Chips()))
+	}
+	rank.SetXEDEnable(false)
+	return &ECCDIMMController{rank: rank, code: ecc.NewHamming()}
+}
+
+// Rank exposes the underlying rank.
+func (c *ECCDIMMController) Rank() *dram.Rank { return c.rank }
+
+// Stats returns a copy of the counters.
+func (c *ECCDIMMController) Stats() Stats { return c.stats }
+
+// WriteLine stores a line with per-beat SECDED check bytes in chip 8.
+func (c *ECCDIMMController) WriteLine(a dram.WordAddr, data Line) {
+	c.stats.Writes++
+	var beats [DataChips + 1]uint64
+	copy(beats[:DataChips], data[:])
+	for b := 0; b < 8; b++ {
+		cw := c.code.Encode(c.gatherBeat(data, b))
+		beats[DataChips] |= uint64(cw.Check) << uint(8*b)
+	}
+	c.rank.WriteLine(a, beats[:])
+}
+
+// gatherBeat assembles the 64 bits that travel together on bus beat b: one
+// byte from each data chip.
+func (c *ECCDIMMController) gatherBeat(data Line, b int) uint64 {
+	var v uint64
+	for i := 0; i < DataChips; i++ {
+		v |= uint64(uint8(data[i]>>uint(8*b))) << uint(8*i)
+	}
+	return v
+}
+
+// scatterBeat is the inverse of gatherBeat.
+func scatterBeat(v uint64, b int, out *Line) {
+	for i := 0; i < DataChips; i++ {
+		out[i] &^= 0xff << uint(8*b)
+		out[i] |= uint64(uint8(v>>uint(8*i))) << uint(8*b)
+	}
+}
+
+// ReadLine decodes each beat with DIMM-level SECDED. A whole-chip failure
+// contributes eight bad bits per beat — far beyond SECDED — so it either
+// surfaces as OutcomeDUE or, worse, mis-corrects silently; tests verify
+// data against ground truth to expose the silent case.
+func (c *ECCDIMMController) ReadLine(a dram.WordAddr) (Line, Outcome) {
+	c.stats.Reads++
+	res := c.rank.ReadLine(a)
+	var line Line
+	checks := res[DataChips].Data
+	var rawLine Line
+	for i := 0; i < DataChips; i++ {
+		rawLine[i] = res[i].Data
+	}
+	outcome := OutcomeClean
+	for b := 0; b < 8; b++ {
+		cw := ecc.Codeword72{Data: c.gatherBeat(rawLine, b), Check: uint8(checks >> uint(8*b))}
+		data, st := c.code.Decode(cw)
+		switch st {
+		case ecc.StatusCorrected:
+			if outcome == OutcomeClean {
+				outcome = OutcomeCorrectedErasure
+			}
+		case ecc.StatusDetected:
+			outcome = OutcomeDUE
+		}
+		scatterBeat(data, b, &line)
+	}
+	switch outcome {
+	case OutcomeClean:
+		c.stats.CleanReads++
+	case OutcomeCorrectedErasure:
+		c.stats.ErasureCorrections++
+	case OutcomeDUE:
+		c.stats.DUEs++
+	}
+	return line, outcome
+}
+
+// ChipkillController is conventional Single-Chipkill over an 18-chip gang
+// (§II-D2): RS(18,16) per byte lane, correcting one unlocated chip error
+// and detecting two. On-Die ECC stays concealed.
+type ChipkillController struct {
+	rank  *dram.Rank
+	rs    *ecc.RS
+	stats Stats
+}
+
+// NewChipkillController wraps an 18-chip rank with XED disabled.
+func NewChipkillController(rank *dram.Rank) *ChipkillController {
+	if rank.Chips() != ChipkillChips {
+		panic(fmt.Sprintf("core: Chipkill needs 18 chips, got %d", rank.Chips()))
+	}
+	rank.SetXEDEnable(false)
+	return &ChipkillController{rank: rank, rs: ecc.NewChipkill()}
+}
+
+// Rank exposes the underlying rank.
+func (c *ChipkillController) Rank() *dram.Rank { return c.rank }
+
+// Stats returns a copy of the counters.
+func (c *ChipkillController) Stats() Stats { return c.stats }
+
+// WriteBlock stores 16 data beats and 2 lane-wise RS check beats.
+func (c *ChipkillController) WriteBlock(a dram.WordAddr, data Block) {
+	c.stats.Writes++
+	var beats [ChipkillChips]uint64
+	copy(beats[:ChipkillDataChips], data[:])
+	lane := make([]uint8, ChipkillDataChips)
+	for b := 0; b < 8; b++ {
+		for i := 0; i < ChipkillDataChips; i++ {
+			lane[i] = uint8(data[i] >> uint(8*b))
+		}
+		cw := c.rs.Encode(lane)
+		beats[16] |= uint64(cw[16]) << uint(8*b)
+		beats[17] |= uint64(cw[17]) << uint(8*b)
+	}
+	c.rank.WriteLine(a, beats[:])
+}
+
+// ReadBlock decodes lane-wise: one bad chip is corrected, two bad chips
+// are (at best) detected.
+func (c *ChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
+	c.stats.Reads++
+	res := c.rank.ReadLine(a)
+	var words [ChipkillChips]uint64
+	for i := range words {
+		words[i] = res[i].Data
+	}
+	var out Block
+	lane := make([]uint8, ChipkillChips)
+	outcome := OutcomeClean
+	for b := 0; b < 8; b++ {
+		for i := 0; i < ChipkillChips; i++ {
+			lane[i] = uint8(words[i] >> uint(8*b))
+		}
+		fixed, st := c.rs.Decode(lane)
+		switch st {
+		case ecc.StatusCorrected:
+			if outcome == OutcomeClean {
+				outcome = OutcomeCorrectedErasure
+			}
+		case ecc.StatusDetected:
+			outcome = OutcomeDUE
+		}
+		for i := 0; i < ChipkillDataChips; i++ {
+			out[i] |= uint64(fixed[i]) << uint(8*b)
+		}
+	}
+	switch outcome {
+	case OutcomeClean:
+		c.stats.CleanReads++
+	case OutcomeCorrectedErasure:
+		c.stats.ErasureCorrections++
+	case OutcomeDUE:
+		c.stats.DUEs++
+	}
+	return out, outcome
+}
+
+// DoubleChipkillChips is the 36-chip Double-Chipkill gang (§IX).
+const DoubleChipkillChips = 36
+
+// DoubleChipkillDataChips carry data; four chips carry check symbols.
+const DoubleChipkillDataChips = 32
+
+// WideBlock is the 36-chip access unit (32 data beats).
+type WideBlock = [DoubleChipkillDataChips]uint64
+
+// DoubleChipkillController is conventional Double-Chipkill: RS(36,32) per
+// byte lane, correcting any two unlocated chip errors.
+type DoubleChipkillController struct {
+	rank  *dram.Rank
+	rs    *ecc.RS
+	stats Stats
+}
+
+// NewDoubleChipkillController wraps a 36-chip gang with XED disabled.
+func NewDoubleChipkillController(rank *dram.Rank) *DoubleChipkillController {
+	if rank.Chips() != DoubleChipkillChips {
+		panic(fmt.Sprintf("core: Double-Chipkill needs 36 chips, got %d", rank.Chips()))
+	}
+	rank.SetXEDEnable(false)
+	return &DoubleChipkillController{rank: rank, rs: ecc.NewDoubleChipkill()}
+}
+
+// Rank exposes the underlying rank.
+func (c *DoubleChipkillController) Rank() *dram.Rank { return c.rank }
+
+// Stats returns a copy of the counters.
+func (c *DoubleChipkillController) Stats() Stats { return c.stats }
+
+// WriteBlock stores 32 data beats and 4 lane-wise check beats.
+func (c *DoubleChipkillController) WriteBlock(a dram.WordAddr, data WideBlock) {
+	c.stats.Writes++
+	var beats [DoubleChipkillChips]uint64
+	copy(beats[:DoubleChipkillDataChips], data[:])
+	lane := make([]uint8, DoubleChipkillDataChips)
+	for b := 0; b < 8; b++ {
+		for i := 0; i < DoubleChipkillDataChips; i++ {
+			lane[i] = uint8(data[i] >> uint(8*b))
+		}
+		cw := c.rs.Encode(lane)
+		for j := 0; j < 4; j++ {
+			beats[32+j] |= uint64(cw[32+j]) << uint(8*b)
+		}
+	}
+	c.rank.WriteLine(a, beats[:])
+}
+
+// ReadBlock corrects up to two bad chips per lane.
+func (c *DoubleChipkillController) ReadBlock(a dram.WordAddr) (WideBlock, Outcome) {
+	c.stats.Reads++
+	res := c.rank.ReadLine(a)
+	var words [DoubleChipkillChips]uint64
+	for i := range words {
+		words[i] = res[i].Data
+	}
+	var out WideBlock
+	lane := make([]uint8, DoubleChipkillChips)
+	outcome := OutcomeClean
+	for b := 0; b < 8; b++ {
+		for i := 0; i < DoubleChipkillChips; i++ {
+			lane[i] = uint8(words[i] >> uint(8*b))
+		}
+		fixed, st := c.rs.Decode(lane)
+		switch st {
+		case ecc.StatusCorrected:
+			if outcome == OutcomeClean {
+				outcome = OutcomeCorrectedErasure
+			}
+		case ecc.StatusDetected:
+			outcome = OutcomeDUE
+		}
+		for i := 0; i < DoubleChipkillDataChips; i++ {
+			out[i] |= uint64(fixed[i]) << uint(8*b)
+		}
+	}
+	switch outcome {
+	case OutcomeClean:
+		c.stats.CleanReads++
+	case OutcomeCorrectedErasure:
+		c.stats.ErasureCorrections++
+	case OutcomeDUE:
+		c.stats.DUEs++
+	}
+	return out, outcome
+}

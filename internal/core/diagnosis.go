@@ -1,0 +1,163 @@
+package core
+
+import (
+	"xedsim/internal/dram"
+	"xedsim/internal/ecc"
+)
+
+// Fault diagnosis for the cases where On-Die ECC fails to detect a
+// multi-bit chip error (§VI). The DIMM-level parity still exposes that
+// *something* is wrong, but not *which* chip; these routines identify the
+// chip so RAID-3 reconstruction can proceed instead of declaring an
+// uncorrectable error.
+
+// diagnoseAndCorrect drives the §VI flow: FCT lookup, then Inter-Line
+// Fault Diagnosis, then Intra-Line Fault Diagnosis; on success the faulty
+// chip's beat is rebuilt from parity, otherwise the read is a DUE.
+// hintWords, when non-nil, carries the serial-mode (on-die corrected) bus
+// words already collected for this line.
+func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) ReadResult {
+	// Fast path: a previous diagnosis already convicted a chip for this
+	// row (or permanently, after FCT saturation).
+	if chip := c.fct.Lookup(a.Bank, a.Row); chip >= 0 {
+		return c.reconstructAgainstChip(a, chip, OutcomeCorrectedDiagnosis)
+	}
+	if chip := c.interLineDiagnosis(a); chip >= 0 {
+		if c.fct.Insert(a.Bank, a.Row, chip) {
+			c.stats.FCTChipMarks++
+			c.events.append(EventChipMarked, dram.WordAddr{}, chip)
+		}
+		c.events.append(EventDiagnosis, a, chip)
+		return c.reconstructAgainstChip(a, chip, OutcomeCorrectedDiagnosis)
+	}
+	if chip := c.intraLineDiagnosis(a); chip >= 0 {
+		// Intra-line verdicts feed the FCT too: a column or bank
+		// failure is convicted row by row, and once every entry names
+		// the same chip it is permanently marked (§VI-A).
+		if c.fct.Insert(a.Bank, a.Row, chip) {
+			c.stats.FCTChipMarks++
+			c.events.append(EventChipMarked, dram.WordAddr{}, chip)
+		}
+		c.events.append(EventDiagnosis, a, chip)
+		return c.reconstructAgainstChip(a, chip, OutcomeCorrectedDiagnosis)
+	}
+	// Both diagnoses failed (the transient-word-fault case of §VIII):
+	// detected but uncorrectable.
+	c.stats.DUEs++
+	c.events.append(EventDUE, a, -1)
+	res := ReadResult{Outcome: OutcomeDUE}
+	if hintWords != nil {
+		var words [DataChips + 1]uint64
+		copy(words[:], hintWords)
+		res.Data = toLine(words)
+	} else {
+		raw := c.rank.ReadLine(a)
+		var words [DataChips + 1]uint64
+		for i := range words {
+			words[i] = raw[i].Data
+		}
+		res.Data = toLine(words)
+	}
+	return res
+}
+
+// interLineDiagnosis streams the entire row buffer (all columns of the
+// accessed row) and counts, per chip, how many lines that chip flagged
+// with a catch-word. A chip whose count reaches the threshold (10% of the
+// row, §VI-A) is convicted — a row/column/bank failure damages many
+// spatially close lines, and the on-die code cannot miss all of them.
+// Returns the faulty chip or -1.
+func (c *Controller) interLineDiagnosis(a dram.WordAddr) int {
+	c.stats.InterLineRuns++
+	geom := c.rank.Geometry()
+	counts := make([]int, DataChips+1)
+	for col := 0; col < geom.ColsPerRow; col++ {
+		addr := dram.WordAddr{Bank: a.Bank, Row: a.Row, Col: col}
+		res := c.rank.ReadLine(addr)
+		for i, r := range res {
+			if r.Data == c.catchWords[i] {
+				counts[i]++
+			}
+		}
+	}
+	threshold := int(c.interLineThreshold * float64(geom.ColsPerRow))
+	if threshold < 1 {
+		threshold = 1
+	}
+	best, bestCount, ties := -1, 0, 0
+	for i, n := range counts {
+		if n > bestCount {
+			best, bestCount, ties = i, n, 1
+		} else if n == bestCount && n > 0 {
+			ties++
+		}
+	}
+	if bestCount >= threshold && ties == 1 {
+		return best
+	}
+	return -1
+}
+
+// intraLineDiagnosis tests for a permanent fault confined to the accessed
+// line (§VI-B): it buffers the line, writes all-zeros and all-ones
+// patterns, reads them back with XED bypassed, and convicts the chip whose
+// cells do not hold the pattern. Transient word faults do not reproduce
+// under rewrite and correctly escape conviction. The original (buffered)
+// content is restored before returning. Returns the faulty chip or -1.
+func (c *Controller) intraLineDiagnosis(a dram.WordAddr) int {
+	c.stats.IntraLineRuns++
+	// Buffer the suspect line as raw (on-die corrected where possible)
+	// words.
+	var buffer [DataChips + 1]uint64
+	for i := 0; i <= DataChips; i++ {
+		buffer[i], _ = c.rank.Chip(i).ReadRaw(a)
+	}
+
+	faulty := -1
+	ambiguous := false
+	for _, pattern := range []uint64{0, ^uint64(0)} {
+		for i := 0; i <= DataChips; i++ {
+			c.rank.Chip(i).Write(a, pattern)
+		}
+		for i := 0; i <= DataChips; i++ {
+			got, st := c.rank.Chip(i).ReadRaw(a)
+			if got == pattern && st != ecc.StatusDetected {
+				continue
+			}
+			if faulty >= 0 && faulty != i {
+				ambiguous = true
+			}
+			faulty = i
+		}
+	}
+
+	// Restore the buffered content.
+	for i := 0; i <= DataChips; i++ {
+		c.rank.Chip(i).Write(a, buffer[i])
+	}
+	if ambiguous {
+		return -1
+	}
+	return faulty
+}
+
+// reconstructAgainstChip rebuilds the line treating chip k as an erasure:
+// every other chip is read with XED bypassed (their on-die engines repair
+// any correctable scaling faults), then chip k's beat is recomputed from
+// parity (§VI, §VII-C).
+func (c *Controller) reconstructAgainstChip(a dram.WordAddr, k int, outcome Outcome) ReadResult {
+	var words [DataChips + 1]uint64
+	for i := 0; i <= DataChips; i++ {
+		if i == k {
+			continue
+		}
+		words[i], _ = c.rank.Chip(i).ReadRaw(a)
+	}
+	if k != parityChip {
+		words[k] = ecc.Reconstruct(words[:DataChips], words[parityChip], k)
+	} else {
+		words[parityChip] = ecc.Parity(words[:DataChips])
+	}
+	c.stats.DiagCorrections++
+	return ReadResult{Data: toLine(words), Outcome: outcome, FaultyChips: []int{k}}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"xedsim/internal/dram"
+)
+
+// RAS event log: the machine-readable record a health daemon or OS memory
+// manager consumes — which chip erred where, what the controller did about
+// it, and which lines are candidates for page retirement. Real servers
+// surface exactly this through EDAC/MCA; the functional model keeps it as
+// a bounded ring so long campaigns cannot grow without limit.
+
+// EventKind classifies one logged RAS event.
+type EventKind int
+
+const (
+	// EventErasureCorrection: a catch-word named a chip and parity
+	// rebuilt its beat.
+	EventErasureCorrection EventKind = iota
+	// EventSerialMode: multiple catch-words triggered the §VII-B
+	// quiesce/re-read dance.
+	EventSerialMode
+	// EventDiagnosis: §VI diagnosis ran and convicted a chip.
+	EventDiagnosis
+	// EventDUE: a detected uncorrectable error — the line should be
+	// retired and the job checkpoint-restored.
+	EventDUE
+	// EventCollision: legitimate data matched a catch-word; the
+	// catch-word was regenerated (§V-D).
+	EventCollision
+	// EventChipMarked: the FCT saturated and permanently marked a chip
+	// (§VI-A) — a service call.
+	EventChipMarked
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventErasureCorrection:
+		return "erasure-correction"
+	case EventSerialMode:
+		return "serial-mode"
+	case EventDiagnosis:
+		return "diagnosis"
+	case EventDUE:
+		return "DUE"
+	case EventCollision:
+		return "collision"
+	case EventChipMarked:
+		return "chip-marked"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one RAS log entry.
+type Event struct {
+	// Seq is a monotonically increasing sequence number (survives ring
+	// eviction, so gaps are detectable).
+	Seq uint64
+	// Kind classifies the event.
+	Kind EventKind
+	// Addr is the affected line (zero Addr for chip-scope events).
+	Addr dram.WordAddr
+	// Chip is the implicated chip, or -1.
+	Chip int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s chip=%d %v", e.Seq, e.Kind, e.Chip, e.Addr)
+}
+
+// eventLog is a fixed-capacity ring.
+type eventLog struct {
+	buf  []Event
+	next uint64 // total events ever appended
+}
+
+// defaultEventLogCapacity bounds controller memory for long campaigns.
+const defaultEventLogCapacity = 1024
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = defaultEventLogCapacity
+	}
+	return &eventLog{buf: make([]Event, 0, capacity)}
+}
+
+func (l *eventLog) append(kind EventKind, addr dram.WordAddr, chip int) {
+	e := Event{Seq: l.next, Kind: kind, Addr: addr, Chip: chip}
+	l.next++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	copy(l.buf, l.buf[1:])
+	l.buf[len(l.buf)-1] = e
+}
+
+// snapshot returns the retained events, oldest first.
+func (l *eventLog) snapshot() []Event {
+	out := make([]Event, len(l.buf))
+	copy(out, l.buf)
+	return out
+}
+
+// Events returns the controller's retained RAS log, oldest first. The ring
+// keeps the most recent entries; Seq gaps indicate eviction.
+func (c *Controller) Events() []Event { return c.events.snapshot() }
+
+// TotalEvents reports how many events were ever logged (including evicted
+// ones).
+func (c *Controller) TotalEvents() uint64 { return c.events.next }

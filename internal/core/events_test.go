@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+func TestEventLogRecordsCorrectionFlow(t *testing.T) {
+	c := newXED(t)
+	rng := simrand.New(0xe1)
+	a := dram.WordAddr{Bank: 0, Row: 1, Col: 2}
+	data := lineOf(rng)
+	c.WriteLine(a, data)
+	c.Rank().InjectChipFailure(3, dram.NewChipFault(false, 4))
+	c.ReadLine(a)
+	c.ReadLine(a)
+
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	for i, e := range evs {
+		if e.Kind != EventErasureCorrection || e.Chip != 3 || e.Addr != a {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("seq %d = %d", i, e.Seq)
+		}
+		if !strings.Contains(e.String(), "erasure-correction") {
+			t.Fatalf("event string %q", e.String())
+		}
+	}
+	if c.TotalEvents() != 2 {
+		t.Fatalf("total = %d", c.TotalEvents())
+	}
+}
+
+func TestEventLogKindsAcrossPaths(t *testing.T) {
+	c := newXED(t)
+	rng := simrand.New(0xe2)
+
+	// Collision.
+	a1 := dram.WordAddr{Bank: 0, Row: 2, Col: 3}
+	var data Line
+	data[4] = c.CatchWord(4)
+	c.WriteLine(a1, data)
+	c.ReadLine(a1)
+
+	// Serial mode.
+	a2 := dram.WordAddr{Bank: 1, Row: 3, Col: 4}
+	c.WriteLine(a2, lineOf(rng))
+	c.Rank().Chip(1).InjectFault(dram.NewBitFault(a2, 5, false))
+	c.Rank().Chip(6).InjectFault(dram.NewBitFault(a2, 9, false))
+	c.ReadLine(a2)
+
+	// DUE.
+	a3 := dram.WordAddr{Bank: 2, Row: 4, Col: 5}
+	c.WriteLine(a3, lineOf(rng))
+	c.Rank().Chip(2).InjectFault(silentWordFault(a3, true))
+	c.ReadLine(a3)
+
+	kinds := map[EventKind]bool{}
+	for _, e := range c.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []EventKind{EventErasureCorrection, EventCollision, EventSerialMode, EventDUE} {
+		if !kinds[want] {
+			t.Fatalf("missing %v in event log: %v", want, c.Events())
+		}
+	}
+}
+
+func TestEventLogRingEviction(t *testing.T) {
+	l := newEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.append(EventDUE, dram.WordAddr{Col: i}, -1)
+	}
+	evs := l.snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("ring kept wrong window: %+v", evs)
+	}
+	if l.next != 10 {
+		t.Fatalf("total = %d", l.next)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventErasureCorrection; k <= EventChipMarked; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "EventKind") {
+			t.Fatalf("kind %d has bad string %q", int(k), s)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+// FCT is the Faulty-row Chip Tracker of §VI-A: a small hardware structure
+// caching the result of Inter-Line Fault Diagnosis. Each entry is a
+// (row address, faulty chip) tuple — 32+4 bits in hardware. The sizing
+// insight from the paper: a system sees either one or two faulty rows (a
+// row failure) or thousands (a column/bank failure), so a handful of
+// entries suffices — once every entry points at the same chip, that chip
+// is permanently marked faulty and all later accesses reconstruct it from
+// parity without re-running diagnosis.
+type FCT struct {
+	capacity int
+	entries  []fctEntry
+	// markedChip is the permanently-faulty chip, or -1.
+	markedChip int
+}
+
+type fctEntry struct {
+	bank, row int
+	chip      int
+}
+
+// DefaultFCTEntries is the paper's suggested size (4-8 entries; we use 8).
+const DefaultFCTEntries = 8
+
+// NewFCT builds a tracker with the given number of entries (min 1).
+func NewFCT(capacity int) *FCT {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FCT{capacity: capacity, markedChip: -1}
+}
+
+// Lookup returns the faulty chip recorded for the row, or -1. A permanently
+// marked chip matches every row.
+func (f *FCT) Lookup(bank, row int) int {
+	if f.markedChip >= 0 {
+		return f.markedChip
+	}
+	for _, e := range f.entries {
+		if e.bank == bank && e.row == row {
+			return e.chip
+		}
+	}
+	return -1
+}
+
+// Insert records a diagnosis verdict. When the tracker fills and every
+// entry names the same chip, that chip is permanently marked (the
+// column/bank-failure case) and Insert reports marked=true.
+func (f *FCT) Insert(bank, row, chip int) (marked bool) {
+	if f.markedChip >= 0 {
+		return false
+	}
+	for i, e := range f.entries {
+		if e.bank == bank && e.row == row {
+			f.entries[i].chip = chip
+			return false
+		}
+	}
+	if len(f.entries) < f.capacity {
+		f.entries = append(f.entries, fctEntry{bank: bank, row: row, chip: chip})
+	} else {
+		// FIFO replacement on overflow.
+		copy(f.entries, f.entries[1:])
+		f.entries[f.capacity-1] = fctEntry{bank: bank, row: row, chip: chip}
+	}
+	if len(f.entries) == f.capacity {
+		same := true
+		for _, e := range f.entries {
+			if e.chip != f.entries[0].chip {
+				same = false
+				break
+			}
+		}
+		if same {
+			f.markedChip = f.entries[0].chip
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedChip returns the permanently marked chip, or -1.
+func (f *FCT) MarkedChip() int { return f.markedChip }
+
+// Len returns the number of live entries.
+func (f *FCT) Len() int { return len(f.entries) }
+
+// Reset clears the tracker (chip replacement / repair flows).
+func (f *FCT) Reset() {
+	f.entries = f.entries[:0]
+	f.markedChip = -1
+}

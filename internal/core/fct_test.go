@@ -1,0 +1,100 @@
+package core
+
+import "testing"
+
+func TestFCTLookupMissAndHit(t *testing.T) {
+	f := NewFCT(4)
+	if f.Lookup(0, 1) != -1 {
+		t.Fatal("empty FCT should miss")
+	}
+	f.Insert(0, 1, 3)
+	if f.Lookup(0, 1) != 3 {
+		t.Fatal("expected hit")
+	}
+	if f.Lookup(0, 2) != -1 || f.Lookup(1, 1) != -1 {
+		t.Fatal("different row/bank must miss")
+	}
+}
+
+func TestFCTUpdateExistingRow(t *testing.T) {
+	f := NewFCT(4)
+	f.Insert(0, 1, 3)
+	f.Insert(0, 1, 5)
+	if f.Lookup(0, 1) != 5 {
+		t.Fatal("entry not updated")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len = %d, want 1", f.Len())
+	}
+}
+
+func TestFCTSaturationMarksChip(t *testing.T) {
+	f := NewFCT(4)
+	for row := 0; row < 3; row++ {
+		if f.Insert(0, row, 2) {
+			t.Fatalf("marked too early at row %d", row)
+		}
+	}
+	if !f.Insert(0, 3, 2) {
+		t.Fatal("4th same-chip entry should mark the chip")
+	}
+	if f.MarkedChip() != 2 {
+		t.Fatalf("marked chip = %d", f.MarkedChip())
+	}
+	// Every row now hits.
+	if f.Lookup(7, 999) != 2 {
+		t.Fatal("marked chip should match all rows")
+	}
+	// Further inserts are no-ops.
+	if f.Insert(0, 50, 4) {
+		t.Fatal("insert after marking should not re-mark")
+	}
+}
+
+func TestFCTMixedChipsDoNotMark(t *testing.T) {
+	f := NewFCT(4)
+	for row := 0; row < 4; row++ {
+		chip := row % 2
+		if f.Insert(0, row, chip) {
+			t.Fatal("mixed chips must not mark")
+		}
+	}
+	if f.MarkedChip() != -1 {
+		t.Fatal("no chip should be marked")
+	}
+}
+
+func TestFCTFIFOReplacement(t *testing.T) {
+	// Mixed chips so the unanimity rule does not fire; the oldest entry
+	// is evicted FIFO.
+	f := NewFCT(2)
+	f.Insert(0, 0, 1)
+	f.Insert(0, 1, 2)
+	f.Insert(0, 2, 3) // evicts row 0
+	if f.MarkedChip() != -1 {
+		t.Fatal("mixed chips must not mark")
+	}
+	if f.Lookup(0, 0) != -1 {
+		t.Fatal("row 0 should have been evicted")
+	}
+	if f.Lookup(0, 2) != 3 || f.Lookup(0, 1) != 2 {
+		t.Fatal("rows 1 and 2 should be present")
+	}
+}
+
+func TestFCTReset(t *testing.T) {
+	f := NewFCT(2)
+	f.Insert(0, 0, 1)
+	f.Insert(0, 1, 1)
+	f.Reset()
+	if f.MarkedChip() != -1 || f.Len() != 0 || f.Lookup(0, 0) != -1 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestFCTMinimumCapacity(t *testing.T) {
+	f := NewFCT(0)
+	if f.Insert(0, 0, 1) != true {
+		t.Fatal("capacity-1 FCT marks on first insert")
+	}
+}

@@ -1,0 +1,94 @@
+// Package core implements XED itself: the memory-controller side of
+// eXposed on-die Error Detection (Nair, Sridharan, Qureshi, ISCA 2016).
+//
+// A Controller drives a 9-chip ECC-DIMM whose chips have On-Die ECC and the
+// XED extensions (XED-Enable register, Catch-Word Register, DC-Mux). The
+// ninth chip stores RAID-3 parity of the eight data beats (§V-C). On a
+// read, any chip whose on-die engine detected or corrected an error returns
+// its catch-word instead of data; the controller recognises the catch-word,
+// treats the chip as an erasure and reconstructs its beat from parity —
+// Chipkill-level protection from one commodity DIMM.
+//
+// The package also implements the paper's §VI machinery for the 0.8% of
+// multi-bit chip errors the on-die code misses (Inter-Line and Intra-Line
+// Fault Diagnosis with the Faulty-row Chip Tracker), §VII's serial-mode
+// correction of concurrent scaling faults, §V-D's catch-word collision
+// handling, and §IX's XED-on-Chipkill controller that reaches
+// Double-Chipkill-level protection on Single-Chipkill hardware.
+package core
+
+import "fmt"
+
+// Outcome classifies one cache-line read as seen by the controller.
+type Outcome int
+
+const (
+	// OutcomeClean: no catch-word, parity consistent.
+	OutcomeClean Outcome = iota
+	// OutcomeCorrectedErasure: one catch-word; the beat was rebuilt from
+	// RAID-3 parity (§V-C2).
+	OutcomeCorrectedErasure
+	// OutcomeCorrectedSerial: multiple catch-words from scaling faults;
+	// serial-mode re-read with XED disabled recovered all beats (§VII-B).
+	OutcomeCorrectedSerial
+	// OutcomeCorrectedDiagnosis: the on-die code missed a multi-bit
+	// error (parity mismatch with no catch-word) or a chip failure hid
+	// among scaling faults, and Inter-/Intra-Line diagnosis identified
+	// the faulty chip so parity could rebuild it (§VI, §VII-C).
+	OutcomeCorrectedDiagnosis
+	// OutcomeDUE: a detected uncorrectable error — the parity mismatch
+	// could not be attributed to a single chip (§VIII).
+	OutcomeDUE
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeCorrectedErasure:
+		return "corrected-erasure"
+	case OutcomeCorrectedSerial:
+		return "corrected-serial"
+	case OutcomeCorrectedDiagnosis:
+		return "corrected-diagnosis"
+	case OutcomeDUE:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// ReadResult reports one line read.
+type ReadResult struct {
+	// Data is the eight 64-bit data beats of the cache line.
+	Data [8]uint64
+	// Outcome classifies how the line was obtained.
+	Outcome Outcome
+	// FaultyChips lists chips treated as erasures (catch-word senders or
+	// diagnosis verdicts), if any.
+	FaultyChips []int
+	// Collision is true when a legitimate data value matched a chip's
+	// catch-word (§V-D); the controller corrected "unnecessarily" and
+	// regenerated that chip's catch-word.
+	Collision bool
+}
+
+// Stats aggregates controller activity for experiments and tests.
+type Stats struct {
+	Reads, Writes uint64
+
+	CleanReads         uint64
+	ErasureCorrections uint64
+	SerialCorrections  uint64
+	DiagCorrections    uint64
+	DUEs               uint64
+
+	CatchWordsSeen   uint64
+	Collisions       uint64
+	CatchWordUpdates uint64
+
+	InterLineRuns uint64
+	IntraLineRuns uint64
+	FCTChipMarks  uint64
+}

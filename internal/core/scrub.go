@@ -1,0 +1,85 @@
+package core
+
+import "xedsim/internal/dram"
+
+// Patrol scrubbing: the background process that walks memory, reads every
+// line through the correction hierarchy, and writes the corrected data
+// back. Scrubbing bounds how long a transient fault stays live — the
+// overlap window of the reliability model (faultsim's ScrubIntervalHours)
+// — and rewrites heal transient upsets in the functional model exactly as
+// redundant-bit rewrites do in real DRAM.
+
+// Scrubber walks a Controller's rank in address order.
+type Scrubber struct {
+	ctrl *Controller
+	pos  dram.WordAddr
+
+	stats ScrubStats
+}
+
+// ScrubStats counts scrubber activity.
+type ScrubStats struct {
+	LinesScrubbed uint64
+	Corrections   uint64
+	DUEs          uint64
+	PassesDone    uint64
+}
+
+// NewScrubber starts a scrubber at address zero.
+func NewScrubber(ctrl *Controller) *Scrubber {
+	return &Scrubber{ctrl: ctrl}
+}
+
+// Stats returns a copy of the counters.
+func (s *Scrubber) Stats() ScrubStats { return s.stats }
+
+// Step scrubs the next n lines (read-correct-writeback), wrapping at the
+// end of the rank. It returns the number of uncorrectable lines hit.
+func (s *Scrubber) Step(n int) int {
+	geom := s.ctrl.Rank().Geometry()
+	dues := 0
+	for i := 0; i < n; i++ {
+		res := s.ctrl.ReadLine(s.pos)
+		switch res.Outcome {
+		case OutcomeDUE:
+			s.stats.DUEs++
+			dues++
+			// Data is unrecoverable; leave the line for the OS to
+			// retire rather than laundering bad data.
+		case OutcomeClean:
+			// Nothing to heal; skip the write-back.
+		default:
+			s.stats.Corrections++
+			s.ctrl.WriteLine(s.pos, res.Data)
+		}
+		s.stats.LinesScrubbed++
+		s.advance(geom)
+	}
+	return dues
+}
+
+// FullPass scrubs the entire rank once and returns the DUE count.
+func (s *Scrubber) FullPass() int {
+	geom := s.ctrl.Rank().Geometry()
+	lines := geom.Banks * geom.RowsPerBank * geom.ColsPerRow
+	return s.Step(lines)
+}
+
+func (s *Scrubber) advance(geom dram.Geometry) {
+	s.pos.Col++
+	if s.pos.Col < geom.ColsPerRow {
+		return
+	}
+	s.pos.Col = 0
+	s.pos.Row++
+	if s.pos.Row < geom.RowsPerBank {
+		return
+	}
+	s.pos.Row = 0
+	s.pos.Bank++
+	if s.pos.Bank < geom.Banks {
+		return
+	}
+	s.pos.Bank = 0
+	s.stats.PassesDone++
+}

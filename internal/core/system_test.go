@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+func smallFleet(t testing.TB, scaling float64) *MemorySystem {
+	t.Helper()
+	return NewMemorySystem(MemorySystemConfig{
+		Channels:         4,
+		RanksPerChannel:  2,
+		Geometry:         dram.Geometry{Banks: 2, RowsPerBank: 8, ColsPerRow: 128},
+		ScalingFaultRate: scaling,
+		Seed:             17,
+	})
+}
+
+func TestMemorySystemCapacityAndString(t *testing.T) {
+	m := smallFleet(t, 0)
+	wantLines := uint64(4 * 2 * 2 * 8 * 128)
+	if m.Capacity() != wantLines*64 {
+		t.Fatalf("capacity %d, want %d", m.Capacity(), wantLines*64)
+	}
+	if s := m.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestMemorySystemRoundTripAcrossFleet(t *testing.T) {
+	m := smallFleet(t, 0)
+	rng := simrand.New(70)
+	lines := map[uint64]Line{}
+	for i := 0; i < 500; i++ {
+		phys := (rng.Uint64() % (m.Capacity() / 64)) << 6
+		l := lineOf(rng)
+		lines[phys] = l
+		m.Write(phys, l)
+	}
+	for phys, want := range lines {
+		res := m.Read(phys)
+		if res.Outcome != OutcomeClean || res.Data != want {
+			t.Fatalf("addr %#x: %+v", phys, res)
+		}
+	}
+	st := m.TotalStats()
+	if st.Writes != 500 || st.Reads != uint64(len(lines)) {
+		t.Fatalf("fleet stats: %+v", st)
+	}
+}
+
+func TestMemorySystemChipFailureScopedToRank(t *testing.T) {
+	m := smallFleet(t, 0)
+	rng := simrand.New(71)
+	// Fill a sample of lines everywhere.
+	var addrs []uint64
+	lines := map[uint64]Line{}
+	for i := 0; i < 400; i++ {
+		phys := (rng.Uint64() % (m.Capacity() / 64)) << 6
+		l := lineOf(rng)
+		addrs = append(addrs, phys)
+		lines[phys] = l
+		m.Write(phys, l)
+	}
+	m.InjectChipFailure(2, 1, 5, dram.NewChipFault(false, 3))
+	for _, phys := range addrs {
+		res := m.Read(phys)
+		if res.Data != lines[phys] {
+			t.Fatalf("addr %#x corrupted: %+v", phys, res)
+		}
+		loc := m.Mapper().Decompose(phys)
+		wantErasure := loc.Channel == 2 && loc.Rank == 1
+		if wantErasure && res.Outcome == OutcomeClean {
+			t.Fatalf("addr %#x in failed rank read clean", phys)
+		}
+		if !wantErasure && res.Outcome != OutcomeClean {
+			t.Fatalf("addr %#x outside failed rank: %v", phys, res.Outcome)
+		}
+	}
+}
+
+func TestAddressMapperInverse(t *testing.T) {
+	m := dram.NewMapper(4, 2, dram.Geometry{Banks: 8, RowsPerBank: 64, ColsPerRow: 128})
+	f := func(raw uint64) bool {
+		phys := (raw % m.Lines()) << 6
+		loc := m.Decompose(phys)
+		return m.Compose(loc) == phys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressMapperChannelInterleave(t *testing.T) {
+	// Consecutive cache lines land on consecutive channels — the
+	// stream-friendly interleave of the Table V system.
+	m := dram.NewMapper(4, 2, dram.Geometry{Banks: 8, RowsPerBank: 64, ColsPerRow: 128})
+	for i := uint64(0); i < 16; i++ {
+		loc := m.Decompose(i << 6)
+		if loc.Channel != int(i%4) {
+			t.Fatalf("line %d on channel %d, want %d", i, loc.Channel, i%4)
+		}
+	}
+}
+
+func TestAddressMapperCoversAllBanksAndRanks(t *testing.T) {
+	m := dram.NewMapper(2, 2, dram.Geometry{Banks: 4, RowsPerBank: 8, ColsPerRow: 4})
+	seen := map[[4]int]bool{}
+	for line := uint64(0); line < m.Lines(); line++ {
+		loc := m.Decompose(line << 6)
+		key := [4]int{loc.Channel, loc.Rank, loc.Addr.Bank, loc.Addr.Row}
+		seen[key] = true
+		if !m.Geom.Contains(loc.Addr) {
+			t.Fatalf("line %d decomposed outside geometry: %+v", line, loc)
+		}
+	}
+	want := 2 * 2 * 4 * 8
+	if len(seen) != want {
+		t.Fatalf("address map reaches %d (ch,rank,bank,row) tuples, want %d", len(seen), want)
+	}
+}
+
+func TestAddressMapperBounds(t *testing.T) {
+	m := dram.NewMapper(2, 1, dram.Geometry{Banks: 2, RowsPerBank: 2, ColsPerRow: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic beyond capacity")
+		}
+	}()
+	m.Decompose(m.Bytes())
+}
+
+func TestScrubberHealsTransientFaults(t *testing.T) {
+	ctrl := newXED(t)
+	rng := simrand.New(72)
+	geom := ctrl.Rank().Geometry()
+
+	a := dram.WordAddr{Bank: 1, Row: 4, Col: 9}
+	data := lineOf(rng)
+	ctrl.WriteLine(a, data)
+	// A transient row fault: many lines of the row damaged until
+	// rewritten.
+	ctrl.Rank().Chip(2).InjectFault(dram.NewRowFault(1, 4, true, 5))
+
+	s := NewScrubber(ctrl)
+	s.FullPass()
+	st := s.Stats()
+	if st.Corrections == 0 {
+		t.Fatal("scrub pass corrected nothing")
+	}
+	if st.LinesScrubbed != uint64(geom.Banks*geom.RowsPerBank*geom.ColsPerRow) {
+		t.Fatalf("scrubbed %d lines", st.LinesScrubbed)
+	}
+	if st.PassesDone != 1 {
+		t.Fatalf("passes = %d", st.PassesDone)
+	}
+	// After scrubbing, the transient damage is healed: clean read, and
+	// the chip-level fault no longer corrupts (rewritten epoch).
+	res := ctrl.ReadLine(a)
+	if res.Outcome != OutcomeClean || res.Data != data {
+		t.Fatalf("post-scrub read: %+v (data ok=%v)", res.Outcome, res.Data == data)
+	}
+}
+
+func TestScrubberLeavesPermanentFaultsCorrectable(t *testing.T) {
+	ctrl := newXED(t)
+	rng := simrand.New(73)
+	a := dram.WordAddr{Bank: 0, Row: 2, Col: 3}
+	data := lineOf(rng)
+	ctrl.WriteLine(a, data)
+	ctrl.Rank().Chip(4).InjectFault(dram.NewChipFault(false, 6))
+	NewScrubber(ctrl).Step(200)
+	// Permanent damage persists, but reads stay correct via erasure.
+	res := ctrl.ReadLine(a)
+	if res.Data != data {
+		t.Fatalf("post-scrub read wrong: %+v", res)
+	}
+}
+
+func TestScrubberReportsDUEs(t *testing.T) {
+	ctrl := newXED(t)
+	rng := simrand.New(74)
+	a := dram.WordAddr{Bank: 0, Row: 0, Col: 0}
+	ctrl.WriteLine(a, lineOf(rng))
+	ctrl.Rank().Chip(1).InjectFault(silentWordFault(a, true))
+	s := NewScrubber(ctrl)
+	if dues := s.Step(1); dues != 1 {
+		t.Fatalf("scrub DUEs = %d, want 1", dues)
+	}
+	if s.Stats().DUEs != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+}
+
+func TestMemorySystemScrubAll(t *testing.T) {
+	m := smallFleet(t, 0.002)
+	rng := simrand.New(75)
+	for i := 0; i < 100; i++ {
+		phys := (rng.Uint64() % (m.Capacity() / 64)) << 6
+		m.Write(phys, lineOf(rng))
+	}
+	if dues := m.ScrubAll(); dues != 0 {
+		t.Fatalf("scaling faults alone caused %d scrub DUEs", dues)
+	}
+}

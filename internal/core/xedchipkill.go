@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/ecc"
+	"xedsim/internal/simrand"
+)
+
+// XED layered on Single-Chipkill hardware (§IX): 18 chips per access (16
+// data + 2 Reed-Solomon check chips). Without XED this hardware corrects
+// one unlocated chip failure; with XED the catch-words *locate* the faulty
+// chips, turning the two check symbols into two erasure corrections —
+// Double-Chipkill-level protection with half the chips of real
+// Double-Chipkill.
+
+// ChipkillChips is the access width of the single-Chipkill gang.
+const ChipkillChips = 18
+
+// ChipkillDataChips carry data; the last two chips carry check symbols.
+const ChipkillDataChips = 16
+
+// Block is the 18-chip access unit: 16 data beats of 64 bits (two cache
+// lines — the overfetch the paper charges Chipkill for).
+type Block = [ChipkillDataChips]uint64
+
+// XEDChipkillController drives an 18-chip gang with per-chip On-Die ECC,
+// catch-words enabled, and RS(18,16) across chips on every byte lane.
+type XEDChipkillController struct {
+	rank       *dram.Rank
+	rs         *ecc.RS
+	catchWords [ChipkillChips]uint64
+	rng        *simrand.Source
+	stats      Stats
+}
+
+// NewXEDChipkillController programs catch-words and XED-Enable on all 18
+// chips and prepares the RS(18,16) lane code.
+func NewXEDChipkillController(rank *dram.Rank, seed uint64) *XEDChipkillController {
+	if rank.Chips() != ChipkillChips {
+		panic(fmt.Sprintf("core: XED-on-Chipkill needs 18 chips, got %d", rank.Chips()))
+	}
+	c := &XEDChipkillController{rank: rank, rs: ecc.NewXEDChipkill(), rng: simrand.New(seed)}
+	for i := 0; i < ChipkillChips; i++ {
+		c.catchWords[i] = c.rng.Uint64()
+		rank.Chip(i).SetCatchWord(c.catchWords[i])
+	}
+	rank.SetXEDEnable(true)
+	return c
+}
+
+// Rank exposes the underlying rank.
+func (c *XEDChipkillController) Rank() *dram.Rank { return c.rank }
+
+// Stats returns a copy of the counters.
+func (c *XEDChipkillController) Stats() Stats { return c.stats }
+
+// WriteBlock stores 16 data beats plus two RS check beats. Check beats are
+// computed lane-wise: for byte lane b, the 18 lane symbols form one
+// RS(18,16) codeword.
+func (c *XEDChipkillController) WriteBlock(a dram.WordAddr, data Block) {
+	c.stats.Writes++
+	var beats [ChipkillChips]uint64
+	copy(beats[:ChipkillDataChips], data[:])
+	lane := make([]uint8, ChipkillDataChips)
+	for b := 0; b < 8; b++ {
+		for i := 0; i < ChipkillDataChips; i++ {
+			lane[i] = uint8(data[i] >> uint(8*b))
+		}
+		cw := c.rs.Encode(lane)
+		beats[16] |= uint64(cw[16]) << uint(8*b)
+		beats[17] |= uint64(cw[17]) << uint(8*b)
+	}
+	c.rank.WriteLine(a, beats[:])
+}
+
+// ReadBlock reads and corrects one 18-chip access:
+//
+//  1. catch-words name up to two erased chips → lane-wise erasure decode;
+//  2. more than two catch-words → serial-mode re-read (scaling faults are
+//     corrected on-die) and re-evaluate;
+//  3. no catch-word but bad syndromes → bounded-distance decode (one
+//     unlocated chip error, the classic Chipkill case).
+func (c *XEDChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
+	c.stats.Reads++
+	res := c.rank.ReadLine(a)
+	var words [ChipkillChips]uint64
+	var flagged []int
+	for i := range words {
+		words[i] = res[i].Data
+		if words[i] == c.catchWords[i] {
+			flagged = append(flagged, i)
+		}
+	}
+	c.stats.CatchWordsSeen += uint64(len(flagged))
+
+	if len(flagged) > c.rs.R {
+		// More catch-words than erasure budget: serial-mode re-read
+		// lets each on-die engine repair its own (scaling) fault.
+		suspects := make([]int, 0, len(flagged))
+		for _, i := range flagged {
+			rawVal, st := c.rank.Chip(i).ReadRaw(a)
+			words[i] = rawVal
+			if st == ecc.StatusDetected {
+				suspects = append(suspects, i)
+			}
+		}
+		flagged = suspects
+		if len(flagged) > c.rs.R {
+			c.stats.DUEs++
+			return blockOf(words), OutcomeDUE
+		}
+		if ok, out := c.decodeLanes(&words, flagged); ok {
+			c.stats.SerialCorrections++
+			return out, OutcomeCorrectedSerial
+		}
+		c.stats.DUEs++
+		return blockOf(words), OutcomeDUE
+	}
+
+	if len(flagged) == 0 {
+		if c.lanesAllValid(&words) {
+			c.stats.CleanReads++
+			return blockOf(words), OutcomeClean
+		}
+		// Unlocated errors (silent on-die miss): let the RS code both
+		// locate and correct — the classic Chipkill budget of one
+		// chip with R=2.
+		if ok, out := c.decodeUnlocated(&words); ok {
+			c.stats.DiagCorrections++
+			return out, OutcomeCorrectedDiagnosis
+		}
+		c.stats.DUEs++
+		return blockOf(words), OutcomeDUE
+	}
+
+	// 1 or 2 erasures: the §IX-A fast path.
+	if ok, out := c.decodeLanes(&words, flagged); ok {
+		c.stats.ErasureCorrections++
+		c.detectCollisions(words, out, flagged)
+		return out, OutcomeCorrectedErasure
+	}
+	// Erasure decode failed — an additional unlocated error beyond the
+	// erasures. With one erasure and R=2 there is no slack; DUE.
+	c.stats.DUEs++
+	return blockOf(words), OutcomeDUE
+}
+
+// lanesAllValid reports whether every byte lane forms a valid RS codeword.
+func (c *XEDChipkillController) lanesAllValid(words *[ChipkillChips]uint64) bool {
+	lane := make([]uint8, ChipkillChips)
+	for b := 0; b < 8; b++ {
+		for i := 0; i < ChipkillChips; i++ {
+			lane[i] = uint8(words[i] >> uint(8*b))
+		}
+		if !c.rs.IsValid(lane) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeLanes runs the RS code over all 8 byte lanes with the given
+// erasures. It reports ok=false if any lane is uncorrectable.
+func (c *XEDChipkillController) decodeLanes(words *[ChipkillChips]uint64, erasures []int) (bool, Block) {
+	var out Block
+	lane := make([]uint8, ChipkillChips)
+	for b := 0; b < 8; b++ {
+		for i := 0; i < ChipkillChips; i++ {
+			lane[i] = uint8(words[i] >> uint(8*b))
+		}
+		fixed, st := c.rs.DecodeErasures(lane, erasures)
+		if st == ecc.StatusDetected {
+			return false, out
+		}
+		for i := 0; i < ChipkillDataChips; i++ {
+			out[i] |= uint64(fixed[i]) << uint(8*b)
+		}
+	}
+	return true, out
+}
+
+// decodeUnlocated corrects one unlocated chip error across the lanes and
+// requires every lane's verdict to name the same chip (a chip failure
+// corrupts the same symbol position in every lane).
+func (c *XEDChipkillController) decodeUnlocated(words *[ChipkillChips]uint64) (bool, Block) {
+	var out Block
+	lane := make([]uint8, ChipkillChips)
+	for b := 0; b < 8; b++ {
+		for i := 0; i < ChipkillChips; i++ {
+			lane[i] = uint8(words[i] >> uint(8*b))
+		}
+		fixed, st := c.rs.Decode(lane)
+		if st == ecc.StatusDetected {
+			return false, out
+		}
+		for i := 0; i < ChipkillDataChips; i++ {
+			out[i] |= uint64(fixed[i]) << uint(8*b)
+		}
+	}
+	return true, out
+}
+
+// detectCollisions spots §V-D collisions on the Chipkill configuration:
+// if an erased chip's corrected data equals its catch-word, refresh it.
+func (c *XEDChipkillController) detectCollisions(words [ChipkillChips]uint64, corrected Block, flagged []int) {
+	for _, i := range flagged {
+		if i >= ChipkillDataChips {
+			continue
+		}
+		if corrected[i] == c.catchWords[i] {
+			c.stats.Collisions++
+			next := c.rng.Uint64()
+			for next == c.catchWords[i] {
+				next = c.rng.Uint64()
+			}
+			c.catchWords[i] = next
+			c.rank.Chip(i).SetCatchWord(next)
+			c.stats.CatchWordUpdates++
+		}
+	}
+}
+
+func blockOf(words [ChipkillChips]uint64) Block {
+	var b Block
+	copy(b[:], words[:ChipkillDataChips])
+	return b
+}

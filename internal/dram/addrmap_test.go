@@ -1,0 +1,61 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapperRoundTripInPackage(t *testing.T) {
+	m := NewMapper(4, 2, Geometry{Banks: 8, RowsPerBank: 128, ColsPerRow: 64})
+	if m.Bytes() != m.Lines()*64 {
+		t.Fatal("bytes/lines inconsistent")
+	}
+	f := func(raw uint64) bool {
+		phys := (raw % m.Lines()) << 6
+		return m.Compose(m.Decompose(phys)) == phys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapperWithoutXORHash(t *testing.T) {
+	m := NewMapper(2, 2, Geometry{Banks: 4, RowsPerBank: 16, ColsPerRow: 8})
+	m.XORBankHash = false
+	for line := uint64(0); line < m.Lines(); line += 7 {
+		phys := line << 6
+		if m.Compose(m.Decompose(phys)) != phys {
+			t.Fatalf("round trip failed at %#x without XOR hash", phys)
+		}
+	}
+}
+
+func TestMapperConstructorValidation(t *testing.T) {
+	assertPanics(t, "channels", func() { NewMapper(0, 2, DefaultGeometry()) })
+	assertPanics(t, "geometry", func() { NewMapper(2, 2, Geometry{}) })
+}
+
+func TestIntersectsAcrossChips(t *testing.T) {
+	a := NewRowFault(1, 10, false, 1)
+	b := NewBankFault(1, false, 2)
+	c := NewBankFault(2, false, 3)
+	if !IntersectsAcrossChips(&a, &b) {
+		t.Fatal("row and same-bank fault share lines")
+	}
+	if IntersectsAcrossChips(&a, &c) {
+		t.Fatal("different banks share nothing")
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	r := newTestRank(9)
+	if r.Chips() != 9 {
+		t.Fatalf("chips = %d", r.Chips())
+	}
+	if r.Geometry() != testGeom() {
+		t.Fatal("geometry accessor wrong")
+	}
+	if r.Chip(0).Geometry() != testGeom() {
+		t.Fatal("chip geometry accessor wrong")
+	}
+}

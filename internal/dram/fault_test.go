@@ -1,0 +1,106 @@
+package dram
+
+import "testing"
+
+func TestFaultCovers(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault Fault
+		addr  WordAddr
+		want  bool
+	}{
+		{"bit hit", NewBitFault(WordAddr{1, 2, 3}, 0, false), WordAddr{1, 2, 3}, true},
+		{"bit miss col", NewBitFault(WordAddr{1, 2, 3}, 0, false), WordAddr{1, 2, 4}, false},
+		{"row hit any col", NewRowFault(1, 2, false, 0), WordAddr{1, 2, 9}, true},
+		{"row miss row", NewRowFault(1, 2, false, 0), WordAddr{1, 3, 9}, false},
+		{"col hit any row", NewColumnFault(0, 5, false, 0), WordAddr{0, 63, 5}, true},
+		{"col miss bank", NewColumnFault(0, 5, false, 0), WordAddr{1, 63, 5}, false},
+		{"bank hit", NewBankFault(2, false, 0), WordAddr{2, 0, 0}, true},
+		{"bank miss", NewBankFault(2, false, 0), WordAddr{3, 0, 0}, false},
+		{"multibank hit", NewMultiBankFault(0b110, false, 0), WordAddr{2, 1, 1}, true},
+		{"multibank miss", NewMultiBankFault(0b110, false, 0), WordAddr{0, 1, 1}, false},
+		{"chip hits all", NewChipFault(false, 0), WordAddr{7, 77, 7}, true},
+	}
+	for _, c := range cases {
+		if got := c.fault.Covers(c.addr); got != c.want {
+			t.Errorf("%s: Covers = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFaultIntersects(t *testing.T) {
+	row := NewRowFault(1, 10, false, 0)
+	colSame := NewColumnFault(1, 5, false, 0)
+	colOther := NewColumnFault(2, 5, false, 0)
+	bank1 := NewBankFault(1, false, 0)
+	bit := NewBitFault(WordAddr{1, 10, 5}, 0, false)
+	bitOff := NewBitFault(WordAddr{1, 11, 5}, 0, false)
+	chip := NewChipFault(false, 0)
+
+	cases := []struct {
+		name string
+		a, b Fault
+		want bool
+	}{
+		{"row x same-bank column", row, colSame, true},
+		{"row x other-bank column", row, colOther, false},
+		{"row x bank", row, bank1, true},
+		{"row x bit on row", row, bit, true},
+		{"row x bit off row", row, bitOff, false},
+		{"column x bit on column", colSame, bit, true},
+		{"chip x anything", chip, bitOff, true},
+		{"two bits same word", bit, bit, true},
+		{"two bits different rows", bit, bitOff, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(&c.b); got != c.want {
+			t.Errorf("%s: Intersects = %v, want %v", c.name, got, c.want)
+		}
+		// Symmetry.
+		if got := c.b.Intersects(&c.a); got != c.want {
+			t.Errorf("%s (reversed): Intersects = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFaultCorruptDeterministic(t *testing.T) {
+	g := testGeom()
+	f := NewRowFault(0, 1, false, 42)
+	a := WordAddr{0, 1, 3}
+	cw := ecc72(0x1234)
+	c1 := f.Corrupt(g, a, cw)
+	c2 := f.Corrupt(g, a, cw)
+	if c1 != c2 {
+		t.Fatal("corruption not deterministic")
+	}
+	if c1 == cw {
+		t.Fatal("corruption changed nothing")
+	}
+	other := f.Corrupt(g, WordAddr{0, 1, 4}, cw)
+	if other.Data^cw.Data == c1.Data^cw.Data && other.Check^cw.Check == c1.Check^cw.Check {
+		t.Fatal("different words got identical corruption pattern")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	assertPanics(t, "empty word mask", func() { NewWordFault(WordAddr{}, 0, 0, false) })
+	assertPanics(t, "empty bank mask", func() { NewMultiBankFault(0, false, 0) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestGranularityStrings(t *testing.T) {
+	for g := GranBit; g < numGranularities; g++ {
+		if s := g.String(); s == "" || s[0] == 'G' {
+			t.Errorf("granularity %d has bad string %q", int(g), s)
+		}
+	}
+}

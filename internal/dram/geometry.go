@@ -1,0 +1,70 @@
+// Package dram models DDR-style DRAM devices at the level the XED paper
+// needs: chips divided into banks, rows and columns (§II-A), per-chip
+// On-Die ECC engines protecting each 64-bit word with 8 check bits (§II-B),
+// the XED-Enable and Catch-Word mode registers configured over the MRS
+// interface, and the DC-Mux that substitutes a catch-word for data whenever
+// the on-die code detects or corrects an error (§V-A).
+//
+// The package provides two complementary views:
+//
+//   - a functional chip model (Chip, Rank) with sparse storage and
+//     deterministic fault corruption, used by the XED controller in
+//     internal/core and by the examples; and
+//   - a symbolic fault-range representation (Fault, Covers, Intersects)
+//     used by the Monte-Carlo reliability simulator in internal/faultsim,
+//     mirroring FaultSim's range-based fault records.
+package dram
+
+import "fmt"
+
+// Geometry describes one DRAM chip's internal organisation. Defaults match
+// the paper's 2Gb x8 parts in the Table V system: 8 banks, 32K rows per
+// bank, 128 cache lines (columns) per row.
+type Geometry struct {
+	Banks       int
+	RowsPerBank int
+	ColsPerRow  int
+}
+
+// DefaultGeometry is the 2Gb x8 device of the paper's evaluation (§III):
+// 8 banks x 32768 rows x 128 columns x 64 bits = 2 Gbit.
+func DefaultGeometry() Geometry {
+	return Geometry{Banks: 8, RowsPerBank: 32768, ColsPerRow: 128}
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.RowsPerBank <= 0 || g.ColsPerRow <= 0 {
+		return fmt.Errorf("dram: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Words returns the number of 64-bit words the chip stores.
+func (g Geometry) Words() int64 {
+	return int64(g.Banks) * int64(g.RowsPerBank) * int64(g.ColsPerRow)
+}
+
+// WordAddr names one 64-bit word inside a chip.
+type WordAddr struct {
+	Bank int
+	Row  int
+	Col  int
+}
+
+// index flattens the address for use as a sparse-store key.
+func (g Geometry) index(a WordAddr) uint64 {
+	return (uint64(a.Bank)*uint64(g.RowsPerBank)+uint64(a.Row))*uint64(g.ColsPerRow) + uint64(a.Col)
+}
+
+// Contains reports whether a is a legal address for the geometry.
+func (g Geometry) Contains(a WordAddr) bool {
+	return a.Bank >= 0 && a.Bank < g.Banks &&
+		a.Row >= 0 && a.Row < g.RowsPerBank &&
+		a.Col >= 0 && a.Col < g.ColsPerRow
+}
+
+// String implements fmt.Stringer.
+func (a WordAddr) String() string {
+	return fmt.Sprintf("bank %d row %d col %d", a.Bank, a.Row, a.Col)
+}

@@ -1,0 +1,84 @@
+package dram
+
+// Birthtime repair by row sparing (§II-C): "the manufacturers will need to
+// ensure that no 64-bit word has more than 1 faulty bit (if a word had
+// multi-bit scaling-faults then use row sparing or column sparing to fix
+// those uncommon cases)". This file models that vendor flow: scaling
+// profiles may be generated unconstrained (multi-bit words appear at
+// ~rate² density), a manufacturing self-test finds the offending rows, and
+// sparing remaps them onto fresh cell-array rows — which carry their own
+// (fresh) weak cells, so the repair loop iterates like real test flows do.
+//
+// Sparing remaps the *cell array* (where scaling faults live). Runtime
+// faults address logical rows and are unaffected: a row failure hits the
+// logical row regardless of which physical row backs it.
+
+// spareKey identifies a logical row.
+type spareKey struct{ bank, row int }
+
+// SpareRow remaps the logical row onto the chip's next spare physical row.
+// Subsequent scaling-fault evaluation for the row uses the spare's cells.
+func (c *Chip) SpareRow(bank, row int) {
+	if c.spares == nil {
+		c.spares = make(map[spareKey]int)
+	}
+	c.spareSeq++
+	c.spares[spareKey{bank, row}] = c.spareSeq
+}
+
+// SparedRows reports how many rows have been remapped.
+func (c *Chip) SparedRows() int { return len(c.spares) }
+
+// scalingIndex maps an address to the cell-array index used for weak-cell
+// evaluation, honouring row sparing.
+func (c *Chip) scalingIndex(a WordAddr) uint64 {
+	if c.spares != nil {
+		if gen, ok := c.spares[spareKey{a.Bank, a.Row}]; ok {
+			// Spare rows live beyond the nominal array: offset by
+			// the array size times the spare generation so repeated
+			// re-sparing of one row reaches fresh cells each time.
+			return uint64(c.geom.Words())*uint64(gen) + c.geom.index(a)
+		}
+	}
+	return c.geom.index(a)
+}
+
+// MultiBitScalingWords scans the whole chip for words violating the ≤1
+// weak-bit guarantee — the manufacturing self-test.
+func (c *Chip) MultiBitScalingWords() []WordAddr {
+	var bad []WordAddr
+	for bank := 0; bank < c.geom.Banks; bank++ {
+		for row := 0; row < c.geom.RowsPerBank; row++ {
+			for col := 0; col < c.geom.ColsPerRow; col++ {
+				a := WordAddr{Bank: bank, Row: row, Col: col}
+				if c.scalingBitCount(a) > 1 {
+					bad = append(bad, a)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// RepairBirthtimeFaults runs the vendor flow: scan, spare offending rows,
+// and re-scan (spare rows bring fresh weak cells), up to maxPasses times.
+// It returns the number of rows spared and whether the chip now meets the
+// ≤1-bit-per-word guarantee the paper assumes.
+func (c *Chip) RepairBirthtimeFaults(maxPasses int) (spared int, clean bool) {
+	for pass := 0; pass < maxPasses; pass++ {
+		bad := c.MultiBitScalingWords()
+		if len(bad) == 0 {
+			return spared, true
+		}
+		seen := map[spareKey]bool{}
+		for _, a := range bad {
+			k := spareKey{a.Bank, a.Row}
+			if !seen[k] {
+				seen[k] = true
+				c.SpareRow(a.Bank, a.Row)
+				spared++
+			}
+		}
+	}
+	return spared, len(c.MultiBitScalingWords()) == 0
+}

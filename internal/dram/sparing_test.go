@@ -1,0 +1,115 @@
+package dram
+
+import (
+	"testing"
+
+	"xedsim/internal/ecc"
+	"xedsim/internal/simrand"
+)
+
+func newRawChip(rate float64, seed uint64) *Chip {
+	c := NewChip(Geometry{Banks: 2, RowsPerBank: 256, ColsPerRow: 64}, ecc.NewCRC8ATM())
+	c.SetScaling(ScalingProfile{Rate: rate, Seed: seed, AllowMultiBit: true})
+	return c
+}
+
+func TestMultiBitScalingWordsExistBeforeRepair(t *testing.T) {
+	// At an exaggerated 0.4% per-bit rate, ~3.4% of words carry >= 2
+	// weak cells (Binomial(72, 0.004) tail) — the population §II-C's
+	// sparing flow must clean up.
+	c := newRawChip(0.004, 5)
+	bad := c.MultiBitScalingWords()
+	total := 2 * 256 * 64
+	frac := float64(len(bad)) / float64(total)
+	if frac < 0.02 || frac > 0.05 {
+		t.Fatalf("multi-bit word fraction %v, want ≈0.034", frac)
+	}
+	// And such a word defeats the on-die code: the read is either a
+	// detected error or (rarely) silent corruption — never clean truth.
+	a := bad[0]
+	c.Write(a, 0x1234)
+	r := c.Read(a)
+	if r.Status == ecc.StatusOK && r.Data == 0x1234 {
+		t.Fatal("multi-bit weak word read back clean?!")
+	}
+}
+
+func TestRepairBirthtimeFaultsCleansChip(t *testing.T) {
+	// A realistic-ish 4e-4 per-bit rate: a few dozen multi-bit words in
+	// this array; sparing converges because fresh rows are almost
+	// always clean.
+	c := newRawChip(4e-4, 6)
+	spared, clean := c.RepairBirthtimeFaults(8)
+	if !clean {
+		t.Fatalf("repair did not converge after sparing %d rows", spared)
+	}
+	if spared == 0 {
+		t.Fatal("nothing spared at 1% rate")
+	}
+	if c.SparedRows() == 0 {
+		t.Fatal("spare map empty")
+	}
+	if bad := c.MultiBitScalingWords(); len(bad) != 0 {
+		t.Fatalf("%d multi-bit words remain", len(bad))
+	}
+	// Post-repair the chip honours the paper's assumption: every word
+	// has <= 1 weak bit, so on-die ECC corrects everything.
+	rng := simrand.New(7)
+	for i := 0; i < 2000; i++ {
+		a := WordAddr{Bank: rng.Intn(2), Row: rng.Intn(256), Col: rng.Intn(64)}
+		v := rng.Uint64()
+		c.Write(a, v)
+		if r := c.Read(a); r.Data != v {
+			t.Fatalf("post-repair read wrong at %v", a)
+		}
+	}
+}
+
+func TestSparingOnlyAffectsTargetRow(t *testing.T) {
+	c := newRawChip(0.004, 9)
+	// Find a row with a multi-bit word and a row without.
+	bad := c.MultiBitScalingWords()
+	if len(bad) == 0 {
+		t.Skip("no multi-bit words at this seed")
+	}
+	target := bad[0]
+	beforeOther := c.scalingBitCount(WordAddr{Bank: target.Bank ^ 1, Row: 5, Col: 5})
+	c.SpareRow(target.Bank, target.Row)
+	afterOther := c.scalingBitCount(WordAddr{Bank: target.Bank ^ 1, Row: 5, Col: 5})
+	if beforeOther != afterOther {
+		t.Fatal("sparing leaked into another bank's row")
+	}
+	// The spared row now evaluates fresh cells.
+	if c.scalingIndex(target) == c.geom.index(target) {
+		t.Fatal("spared row not remapped")
+	}
+}
+
+func TestRepairIdempotentOnCleanChip(t *testing.T) {
+	c := NewChip(testGeom(), ecc.NewCRC8ATM())
+	c.SetScaling(ScalingProfile{Rate: 1e-4, Seed: 3}) // vendor-constrained model
+	spared, clean := c.RepairBirthtimeFaults(2)
+	if spared != 0 || !clean {
+		t.Fatalf("constrained chip needed repair: spared=%d clean=%v", spared, clean)
+	}
+}
+
+func TestMultiBitDensityMatchesBinomial(t *testing.T) {
+	c := newRawChip(0.005, 11)
+	words, multi := 0, 0
+	for bank := 0; bank < 2; bank++ {
+		for row := 0; row < 256; row++ {
+			for col := 0; col < 64; col++ {
+				words++
+				if c.scalingBitCount(WordAddr{Bank: bank, Row: row, Col: col}) >= 2 {
+					multi++
+				}
+			}
+		}
+	}
+	// P(X>=2), X ~ Binomial(72, 0.005): ≈ 0.0509.
+	got := float64(multi) / float64(words)
+	if got < 0.035 || got > 0.07 {
+		t.Fatalf("multi-bit density %v, want ≈0.051", got)
+	}
+}

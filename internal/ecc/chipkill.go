@@ -1,0 +1,20 @@
+package ecc
+
+// Chip-level code configurations used throughout the paper's evaluation.
+
+// NewChipkill returns the Single-Chipkill symbol code: 16 data chips + 2
+// check chips (18 total), correcting one chip-sized symbol error per beat
+// and detecting two (§II-D2). Commercial implementations gang two x8 ranks
+// (or one x4 rank pair) to assemble the 18 symbols.
+func NewChipkill() *RS { return NewRS(16, 2) }
+
+// NewDoubleChipkill returns the Double-Chipkill symbol code: 32 data chips
+// + 4 check chips (36 total), correcting any two chip failures (§IX).
+func NewDoubleChipkill() *RS { return NewRS(32, 4) }
+
+// NewXEDChipkill returns the code for XED layered on Single-Chipkill
+// hardware (§IX-A): the same 18-chip RS(18,16) code, but operated as an
+// erasure code. With the faulty chips identified by catch-words, its two
+// check symbols recover two erased chips — Double-Chipkill-level strength
+// without the extra 18 chips.
+func NewXEDChipkill() *RS { return NewRS(16, 2) }

@@ -1,0 +1,170 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xedsim/internal/simrand"
+)
+
+func TestCRC8RoundTrip(t *testing.T) {
+	c := NewCRC8ATM()
+	f := func(v uint64) bool {
+		cw := c.Encode(v)
+		if !c.IsValid(cw) {
+			return false
+		}
+		got, st := c.Decode(cw)
+		return st == StatusOK && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8/ATM ("CRC-8" in the RevEng catalogue): poly 0x07, init 0,
+	// no reflection, xorout 0. The check value of "123456789" is 0xF4.
+	c := NewCRC8ATM()
+	var r uint8
+	for _, b := range []byte("123456789") {
+		r = c.table[r^b]
+	}
+	if r != 0xf4 {
+		t.Fatalf("CRC8-ATM check value = %#x, want 0xf4", r)
+	}
+}
+
+func TestCRC8CorrectsEverySingleBit(t *testing.T) {
+	c := NewCRC8ATM()
+	rng := simrand.New(2)
+	for trial := 0; trial < 32; trial++ {
+		v := rng.Uint64()
+		cw := c.Encode(v)
+		for bit := 0; bit < 72; bit++ {
+			got, st := c.Decode(cw.FlipBit(bit))
+			if st != StatusCorrected || got != v {
+				t.Fatalf("bit %d: got %#x status %v, want corrected %#x", bit, got, st, v)
+			}
+		}
+	}
+}
+
+func TestCRC8DetectsEveryDoubleBit(t *testing.T) {
+	// HD=4 at this length: every 2-bit error must be detected and must
+	// NOT alias to a single-bit syndrome (which would mis-correct).
+	c := NewCRC8ATM()
+	cw := c.Encode(0x0123456789abcdef)
+	for i := 0; i < 72; i++ {
+		for j := i + 1; j < 72; j++ {
+			bad := cw.FlipBit(i).FlipBit(j)
+			if c.IsValid(bad) {
+				t.Fatalf("double error (%d,%d) is a valid codeword", i, j)
+			}
+			_, st := c.Decode(bad)
+			if st != StatusDetected {
+				t.Fatalf("double error (%d,%d) mis-corrected (status %v)", i, j, st)
+			}
+		}
+	}
+}
+
+func TestCRC8DetectsAllBurstsUpTo8(t *testing.T) {
+	// A degree-8 CRC detects every burst of length <= 8 in wire order —
+	// the paper's headline argument for CRC8-ATM (Table II, 100% burst
+	// column). Exhaustive over all windows and all interior patterns.
+	c := NewCRC8ATM()
+	order := c.SerialOrder()
+	for length := 1; length <= 8; length++ {
+		for start := 0; start+length <= 72; start++ {
+			// All patterns with first and last bit of the window
+			// set (defining a burst of exactly this length).
+			interior := length - 2
+			patterns := 1
+			if interior > 0 {
+				patterns = 1 << uint(interior)
+			}
+			for pat := 0; pat < patterns; pat++ {
+				cw := Codeword72{}.FlipBit(order[start])
+				if length > 1 {
+					cw = cw.FlipBit(order[start+length-1])
+				}
+				for b := 0; b < interior; b++ {
+					if pat>>uint(b)&1 == 1 {
+						cw = cw.FlipBit(order[start+1+b])
+					}
+				}
+				if c.IsValid(cw) {
+					t.Fatalf("burst len=%d start=%d pattern=%#x undetected", length, start, pat)
+				}
+			}
+		}
+	}
+}
+
+func TestCRC8TableMatchesBitwise(t *testing.T) {
+	c := NewCRC8ATM()
+	bitwise := func(data uint64) uint8 {
+		var r uint8
+		for i := 63; i >= 0; i-- {
+			in := uint8(data>>uint(i)) & 1
+			fb := (r>>7)&1 ^ in
+			r <<= 1
+			if fb == 1 {
+				r ^= crc8Poly
+			}
+		}
+		return r
+	}
+	rng := simrand.New(11)
+	for i := 0; i < 5000; i++ {
+		v := rng.Uint64()
+		if got, want := c.crcData(v), bitwise(v); got != want {
+			t.Fatalf("crcData(%#x) = %#x, want %#x", v, got, want)
+		}
+	}
+}
+
+func TestCRC8LinearityProperty(t *testing.T) {
+	// CRC over GF(2) is linear: crc(a^b) == crc(a)^crc(b).
+	c := NewCRC8ATM()
+	f := func(a, b uint64) bool {
+		return c.crcData(a^b) == c.crcData(a)^c.crcData(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerialOrdersArePermutations(t *testing.T) {
+	for _, code := range []Code64{NewHamming(), NewCRC8ATM()} {
+		so := code.(SerialOrderer).SerialOrder()
+		seen := [72]bool{}
+		for _, idx := range so {
+			if idx < 0 || idx >= 72 || seen[idx] {
+				t.Fatalf("%s: serial order is not a permutation", code.Name())
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func BenchmarkCRC8Encode(b *testing.B) {
+	c := NewCRC8ATM()
+	var sink Codeword72
+	for i := 0; i < b.N; i++ {
+		sink = c.Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkCRC8Decode(b *testing.B) {
+	c := NewCRC8ATM()
+	cw := c.Encode(0xdeadbeefcafebabe)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := c.Decode(cw)
+		sink += v
+	}
+	_ = sink
+}

@@ -1,0 +1,87 @@
+package ecc
+
+import "testing"
+
+func TestMeasureDetectionTable2Shape(t *testing.T) {
+	// Regenerates Table II at reduced sample counts and asserts the
+	// paper's qualitative claims:
+	//   * both codes: 100% for 1-3 errors (random and burst);
+	//   * Hamming: ~50% detection of 4- and 8-bit bursts;
+	//   * CRC8-ATM: 100% detection of every burst;
+	//   * CRC8-ATM random-4 miss rate below ~1.2% (paper: 0.8%).
+	hr := MeasureDetection(NewHamming(), 200_000, 1)
+	cr := MeasureDetection(NewCRC8ATM(), 200_000, 1)
+
+	for k := 1; k <= 3; k++ {
+		if hr.Random[k-1] != 1 || hr.Burst[k-1] != 1 {
+			t.Errorf("Hamming k=%d: random=%v burst=%v, want 100%%", k, hr.Random[k-1], hr.Burst[k-1])
+		}
+		if cr.Random[k-1] != 1 || cr.Burst[k-1] != 1 {
+			t.Errorf("CRC8 k=%d: random=%v burst=%v, want 100%%", k, cr.Random[k-1], cr.Burst[k-1])
+		}
+	}
+	// Odd weights are always caught by both codes.
+	for _, k := range []int{5, 7} {
+		if hr.Random[k-1] != 1 {
+			t.Errorf("Hamming k=%d random = %v, want 100%%", k, hr.Random[k-1])
+		}
+		if cr.Random[k-1] != 1 {
+			t.Errorf("CRC8 k=%d random = %v, want 100%%", k, cr.Random[k-1])
+		}
+	}
+	if hr.Burst[3] > 0.6 || hr.Burst[3] < 0.4 {
+		t.Errorf("Hamming burst-4 detection = %v, want ~0.507", hr.Burst[3])
+	}
+	if hr.Burst[7] > 0.6 || hr.Burst[7] < 0.4 {
+		t.Errorf("Hamming burst-8 detection = %v, want ~0.508", hr.Burst[7])
+	}
+	for k := 1; k <= 8; k++ {
+		if cr.Burst[k-1] != 1 {
+			t.Errorf("CRC8 burst-%d detection = %v, want 100%%", k, cr.Burst[k-1])
+		}
+	}
+	if miss := 1 - cr.Random[3]; miss > 0.012 || miss <= 0 {
+		t.Errorf("CRC8 random-4 miss rate = %v, want ~0.008", miss)
+	}
+	if hr.Random[3] >= cr.Random[3] {
+		t.Errorf("expected CRC8 (%v) to beat Hamming (%v) on random-4", cr.Random[3], hr.Random[3])
+	}
+}
+
+func TestUndetectedMultiBitFraction(t *testing.T) {
+	cr := MeasureDetection(NewCRC8ATM(), 100_000, 2)
+	f := UndetectedMultiBitFraction(cr)
+	// The paper uses 0.8% throughout (§VI, §VIII).
+	if f < 0.004 || f > 0.013 {
+		t.Errorf("undetected multi-bit fraction = %v, want ≈0.008", f)
+	}
+}
+
+func TestDetectionExhaustiveMatchesSampled(t *testing.T) {
+	// For k=4 both paths are available; they must agree within Monte
+	// Carlo error.
+	code := NewCRC8ATM()
+	ex := detectRandomExhaustive(code, 4)
+	sa := detectRandomSampled(code, 4, 300_000, newTestRng())
+	if diff := ex - sa; diff > 0.002 || diff < -0.002 {
+		t.Errorf("exhaustive %v vs sampled %v differ by %v", ex, sa, diff)
+	}
+}
+
+func TestBinomialHelper(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{72, 1, 72}, {72, 2, 2556}, {72, 4, 1028790}, {5, 5, 1}, {5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func BenchmarkMeasureDetectionCRC8(b *testing.B) {
+	code := NewCRC8ATM()
+	for i := 0; i < b.N; i++ {
+		MeasureDetection(code, 2_000, uint64(i))
+	}
+}

@@ -1,0 +1,7 @@
+package ecc
+
+import "xedsim/internal/simrand"
+
+// newTestRng gives detection tests a deterministic source without
+// re-plumbing seeds through every helper.
+func newTestRng() *simrand.Source { return simrand.New(0xec0de) }

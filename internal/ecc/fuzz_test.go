@@ -1,0 +1,96 @@
+package ecc
+
+import "testing"
+
+// Fuzz targets: the decoders must never panic, must round-trip clean
+// codewords, and must never "correct" a clean codeword into different
+// data, for arbitrary inputs. Run with `go test -fuzz=FuzzCode64 ./internal/ecc`
+// for continuous fuzzing; the seed corpus runs in normal test mode.
+
+func fuzzCode(f *testing.F, code Code64) {
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(0xdeadbeefcafebabe), uint64(1)<<13, uint8(0x80))
+	f.Add(^uint64(0), ^uint64(0), uint8(0xff))
+	f.Fuzz(func(t *testing.T, data, flipData uint64, flipCheck uint8) {
+		cw := code.Encode(data)
+		if !code.IsValid(cw) {
+			t.Fatalf("%s: Encode(%#x) invalid", code.Name(), data)
+		}
+		got, st := code.Decode(cw)
+		if st != StatusOK || got != data {
+			t.Fatalf("%s: clean decode (%#x, %v)", code.Name(), got, st)
+		}
+		// Arbitrary corruption: decode must terminate with a coherent
+		// status and, for single-bit flips, must correct exactly.
+		bad := cw.FlipMask(flipData, flipCheck)
+		got, st = code.Decode(bad)
+		switch st {
+		case StatusOK:
+			if flipData != 0 || flipCheck != 0 {
+				// Zero-syndrome corruption: pattern is a codeword;
+				// data must have changed or pattern was empty.
+				if got != bad.Data {
+					t.Fatalf("%s: StatusOK but data rewritten", code.Name())
+				}
+			}
+		case StatusCorrected, StatusDetected:
+			// fine
+		default:
+			t.Fatalf("%s: unknown status %v", code.Name(), st)
+		}
+		if oneBit(flipData, flipCheck) {
+			if st != StatusCorrected || got != data {
+				t.Fatalf("%s: single-bit flip not corrected (%v)", code.Name(), st)
+			}
+		}
+	})
+}
+
+func oneBit(d uint64, c uint8) bool {
+	n := 0
+	for x := d; x != 0; x &= x - 1 {
+		n++
+	}
+	for x := c; x != 0; x &= x - 1 {
+		n++
+	}
+	return n == 1
+}
+
+func FuzzCode64Hamming(f *testing.F) { fuzzCode(f, NewHamming()) }
+func FuzzCode64CRC8(f *testing.F)    { fuzzCode(f, NewCRC8ATM()) }
+func FuzzCode64Hsiao(f *testing.F)   { fuzzCode(f, NewHsiao()) }
+
+// FuzzRSDecode: the Reed-Solomon decoder must never panic or accept an
+// uncorrectable word as clean, whatever garbage arrives.
+func FuzzRSDecode(f *testing.F) {
+	rs := NewChipkill()
+	f.Add([]byte{1, 2, 3}, uint8(0), uint8(0))
+	f.Add(make([]byte, 18), uint8(3), uint8(200))
+	f.Fuzz(func(t *testing.T, seedData []byte, errPos, errVal uint8) {
+		data := make([]uint8, rs.K)
+		copy(data, seedData)
+		cw := rs.Encode(data)
+		if !rs.IsValid(cw) {
+			t.Fatal("encode invalid")
+		}
+		bad := make([]uint8, len(cw))
+		copy(bad, cw)
+		bad[int(errPos)%len(bad)] ^= errVal
+		fixed, st := rs.Decode(bad)
+		if errVal == 0 {
+			if st != StatusOK {
+				t.Fatalf("clean word status %v", st)
+			}
+			return
+		}
+		if st != StatusCorrected {
+			t.Fatalf("single symbol error status %v", st)
+		}
+		for i := range cw {
+			if fixed[i] != cw[i] {
+				t.Fatalf("mis-corrected symbol %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xedsim/internal/simrand"
+)
+
+func TestHammingRoundTrip(t *testing.T) {
+	h := NewHamming()
+	vectors := []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeefcafebabe, 1 << 63, 0x5555555555555555, 0xaaaaaaaaaaaaaaaa}
+	for _, v := range vectors {
+		cw := h.Encode(v)
+		if !h.IsValid(cw) {
+			t.Errorf("Encode(%#x) produced invalid codeword", v)
+		}
+		got, st := h.Decode(cw)
+		if st != StatusOK || got != v {
+			t.Errorf("Decode(Encode(%#x)) = %#x, %v", v, got, st)
+		}
+	}
+}
+
+func TestHammingRoundTripProperty(t *testing.T) {
+	h := NewHamming()
+	f := func(v uint64) bool {
+		got, st := h.Decode(h.Encode(v))
+		return st == StatusOK && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingCorrectsEverySingleBit(t *testing.T) {
+	h := NewHamming()
+	rng := simrand.New(1)
+	for trial := 0; trial < 32; trial++ {
+		v := rng.Uint64()
+		cw := h.Encode(v)
+		for bit := 0; bit < 72; bit++ {
+			got, st := h.Decode(cw.FlipBit(bit))
+			if st != StatusCorrected {
+				t.Fatalf("bit %d: status %v, want corrected", bit, st)
+			}
+			if got != v {
+				t.Fatalf("bit %d: corrected to %#x, want %#x", bit, got, v)
+			}
+		}
+	}
+}
+
+func TestHammingDetectsEveryDoubleBit(t *testing.T) {
+	h := NewHamming()
+	v := uint64(0x0123456789abcdef)
+	cw := h.Encode(v)
+	for i := 0; i < 72; i++ {
+		for j := i + 1; j < 72; j++ {
+			bad := cw.FlipBit(i).FlipBit(j)
+			if h.IsValid(bad) {
+				t.Fatalf("double error (%d,%d) is a valid codeword", i, j)
+			}
+			_, st := h.Decode(bad)
+			if st != StatusDetected {
+				t.Fatalf("double error (%d,%d): status %v, want detected", i, j, st)
+			}
+		}
+	}
+}
+
+func TestHammingMinDistanceProbe(t *testing.T) {
+	h := NewHamming()
+	// 72 singles + C(72,2) pairs.
+	want := 72 + 72*71/2
+	if got := h.MinDistanceProbe(); got != want {
+		t.Errorf("MinDistanceProbe checked %d patterns, want %d", got, want)
+	}
+}
+
+func TestHammingOddErrorsNeverSilent(t *testing.T) {
+	// Any odd-weight error flips the overall parity bit of the syndrome,
+	// so it can never produce a valid codeword (it may mis-correct, but
+	// XED's detection predicate still fires).
+	h := NewHamming()
+	rng := simrand.New(7)
+	for trial := 0; trial < 20000; trial++ {
+		v := rng.Uint64()
+		cw := h.Encode(v)
+		k := 1 + 2*rng.Intn(4) // 1,3,5,7
+		seen := map[int]bool{}
+		for len(seen) < k {
+			seen[rng.Intn(72)] = true
+		}
+		for b := range seen {
+			cw = cw.FlipBit(b)
+		}
+		if h.IsValid(cw) {
+			t.Fatalf("odd-weight (%d) error produced valid codeword", k)
+		}
+	}
+}
+
+func TestHammingLayout(t *testing.T) {
+	dataPos, checkPos := hammingLayout()
+	seen := map[int]bool{}
+	for _, p := range dataPos {
+		if p < 1 || p > 71 || p&(p-1) == 0 {
+			t.Fatalf("data position %d invalid", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate position %d", p)
+		}
+		seen[p] = true
+	}
+	wantCheck := []int{1, 2, 4, 8, 16, 32, 64, 72}
+	for i, p := range checkPos {
+		if p != wantCheck[i] {
+			t.Fatalf("check position %d = %d, want %d", i, p, wantCheck[i])
+		}
+	}
+}
+
+func TestHammingBurst4AlignedUndetected(t *testing.T) {
+	// The classic weakness Table II reports: a burst of 4 consecutive
+	// classical positions starting at an even position has syndrome
+	// p^(p+1)^(p+2)^(p+3) = 0 and is silently accepted. Verify both
+	// directions of the dichotomy.
+	h := NewHamming()
+	order := h.SerialOrder()
+	evenStart, oddStart := 0, 0
+	evenSilent := 0
+	for start := 0; start+4 <= 72; start++ {
+		cw := Codeword72{}
+		for i := 0; i < 4; i++ {
+			cw = cw.FlipBit(order[start+i])
+		}
+		classical := start + 1 // serial index 0 = classical position 1
+		if classical%2 == 0 {
+			evenStart++
+			if h.IsValid(cw) {
+				evenSilent++
+			}
+		} else {
+			oddStart++
+			if h.IsValid(cw) {
+				t.Fatalf("odd-start burst at %d silently accepted", classical)
+			}
+		}
+	}
+	if evenSilent == 0 {
+		t.Fatal("expected some even-start 4-bursts to be silent for Hamming")
+	}
+}
+
+func TestHammingEncodeDeterministic(t *testing.T) {
+	a, b := NewHamming(), NewHamming()
+	rng := simrand.New(3)
+	for i := 0; i < 1000; i++ {
+		v := rng.Uint64()
+		if a.Encode(v) != b.Encode(v) {
+			t.Fatalf("Encode(%#x) differs between instances", v)
+		}
+	}
+}
+
+func BenchmarkHammingEncode(b *testing.B) {
+	h := NewHamming()
+	var sink Codeword72
+	for i := 0; i < b.N; i++ {
+		sink = h.Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkHammingDecode(b *testing.B) {
+	h := NewHamming()
+	cw := h.Encode(0xdeadbeefcafebabe)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := h.Decode(cw)
+		sink += v
+	}
+	_ = sink
+}

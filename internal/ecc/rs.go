@@ -1,0 +1,339 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reed-Solomon symbol codes over GF(2⁸).
+//
+// Chipkill assigns one code symbol per DRAM chip, so correcting a symbol
+// corrects a whole-chip failure (§II-D2). The paper's three symbol-code
+// configurations are all shortened RS codes:
+//
+//   - Chipkill ("SSC-DSD"): 16 data + 2 check symbols (18 chips). Corrects
+//     any single symbol error; flags inconsistent syndromes (two-symbol
+//     errors) as detected-uncorrectable.
+//   - Double-Chipkill: 32 data + 4 check symbols (36 chips). Corrects any
+//     two symbol errors (Berlekamp-Massey + Chien + Forney).
+//   - XED on Chipkill (§IX): 16 data + 2 check symbols used as an *erasure*
+//     code: with the faulty chips named by catch-words, two check symbols
+//     recover two erased symbols — Double-Chipkill-level correction from
+//     Single-Chipkill hardware.
+//
+// Symbols are indexed by chip: data symbols first, then check symbols.
+// Codeword symbol i is associated with evaluation point alpha^i.
+
+// RS is a shortened systematic Reed-Solomon code with K data symbols and R
+// check symbols (N = K+R total). The generator polynomial has roots
+// alpha^0 .. alpha^{R-1}.
+type RS struct {
+	K, R int
+	gen  []uint8 // generator polynomial, low-degree first, monic
+}
+
+// ErrTooManyErasures is returned when more erasures are supplied than the
+// code's check symbols can recover.
+var ErrTooManyErasures = errors.New("ecc: erasure count exceeds check symbols")
+
+// NewRS constructs an RS(K+R, K) code. It panics for non-positive sizes or
+// codes longer than the field allows (K+R > 255).
+func NewRS(k, r int) *RS {
+	if k <= 0 || r <= 0 || k+r > 255 {
+		panic(fmt.Sprintf("ecc: invalid RS parameters k=%d r=%d", k, r))
+	}
+	gen := []uint8{1}
+	for i := 0; i < r; i++ {
+		gen = polyMul(gen, []uint8{gfPow(i), 1})
+	}
+	return &RS{K: k, R: r, gen: gen}
+}
+
+// Name identifies the code configuration.
+func (rs *RS) Name() string { return fmt.Sprintf("RS(%d,%d) over GF(256)", rs.K+rs.R, rs.K) }
+
+// Encode appends R check symbols to the K data symbols in data, returning a
+// full codeword of length K+R. It panics if len(data) != K.
+func (rs *RS) Encode(data []uint8) []uint8 {
+	if len(data) != rs.K {
+		panic("ecc: RS Encode data length mismatch")
+	}
+	// Systematic encoding: codeword = data · x^R mod gen appended.
+	// Represent message with data symbol i at coefficient R + (K-1-i) so
+	// symbol order matches chip order after the remainder is prefixed.
+	n := rs.K + rs.R
+	cw := make([]uint8, n)
+	copy(cw, data)
+	// Compute remainder of data(x)·x^R divided by gen via LFSR.
+	rem := make([]uint8, rs.R)
+	for i := rs.K - 1; i >= 0; i-- {
+		feedback := data[i] ^ rem[rs.R-1]
+		copy(rem[1:], rem[:rs.R-1])
+		rem[0] = 0
+		if feedback != 0 {
+			for j := 0; j < rs.R; j++ {
+				rem[j] ^= gfMul(rs.gen[j], feedback)
+			}
+		}
+	}
+	copy(cw[rs.K:], rem)
+	return cw
+}
+
+// codewordPoly maps a codeword (data symbols then check symbols) to the
+// polynomial c(x) whose roots-of-generator property the decoder relies on:
+// c(x) = data(x)·x^R + rem(x), with data symbol i at degree R+i and check
+// symbol j at degree j.
+func (rs *RS) codewordPoly(cw []uint8) []uint8 {
+	p := make([]uint8, rs.K+rs.R)
+	copy(p[:rs.R], cw[rs.K:])
+	copy(p[rs.R:], cw[:rs.K])
+	return p
+}
+
+// polyToCodeword is the inverse mapping of codewordPoly.
+func (rs *RS) polyToCodeword(p []uint8) []uint8 {
+	cw := make([]uint8, rs.K+rs.R)
+	copy(cw, p[rs.R:])
+	copy(cw[rs.K:], p[:rs.R])
+	return cw
+}
+
+// position maps a chip/symbol index (0..K+R-1, data first) to its codeword
+// polynomial degree.
+func (rs *RS) position(sym int) int {
+	if sym < rs.K {
+		return rs.R + sym
+	}
+	return sym - rs.K
+}
+
+// symbolAt maps a polynomial degree back to the chip/symbol index.
+func (rs *RS) symbolAt(deg int) int {
+	if deg < rs.R {
+		return rs.K + deg
+	}
+	return deg - rs.R
+}
+
+// Syndromes computes the R syndromes S_j = c(alpha^j) of the received word.
+// All-zero syndromes mean a valid codeword.
+func (rs *RS) Syndromes(cw []uint8) []uint8 {
+	p := rs.codewordPoly(cw)
+	syn := make([]uint8, rs.R)
+	for j := 0; j < rs.R; j++ {
+		syn[j] = polyEval(p, gfPow(j))
+	}
+	return syn
+}
+
+// IsValid reports whether cw is a valid codeword.
+func (rs *RS) IsValid(cw []uint8) bool {
+	for _, s := range rs.Syndromes(cw) {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode corrects up to floor(R/2) symbol errors in place on a copy of cw
+// and returns the corrected codeword. Status is StatusOK for a clean word,
+// StatusCorrected when errors were repaired, and StatusDetected when the
+// syndromes are inconsistent with any correctable pattern (the word is
+// returned unmodified). Like all bounded-distance decoders it mis-corrects
+// some patterns beyond floor(R/2) errors.
+func (rs *RS) Decode(cw []uint8) ([]uint8, DecodeStatus) {
+	return rs.DecodeErasures(cw, nil)
+}
+
+// DecodeErasures corrects the received word given the symbol indices listed
+// in erasures (known-bad chips named by XED catch-words) plus up to
+// floor((R-len(erasures))/2) additional unknown symbol errors. This is the
+// errors-and-erasures decoder: erasure locator times error locator found by
+// Berlekamp-Massey on the Forney-modified syndromes, Chien search, and
+// Forney's formula for magnitudes.
+func (rs *RS) DecodeErasures(cw []uint8, erasures []int) ([]uint8, DecodeStatus) {
+	n := rs.K + rs.R
+	if len(cw) != n {
+		panic("ecc: RS Decode codeword length mismatch")
+	}
+	if len(erasures) > rs.R {
+		out := make([]uint8, n)
+		copy(out, cw)
+		return out, StatusDetected
+	}
+	syn := rs.Syndromes(cw)
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero && len(erasures) == 0 {
+		out := make([]uint8, n)
+		copy(out, cw)
+		return out, StatusOK
+	}
+	if allZero {
+		// Erasures declared but the word is already consistent: the
+		// "erased" symbols happen to hold correct data (e.g. a
+		// catch-word collision, §V-D). Nothing to fix.
+		out := make([]uint8, n)
+		copy(out, cw)
+		return out, StatusOK
+	}
+
+	// Erasure locator Γ(x) = Π (1 - alpha^{p_i} x) over erased positions.
+	gamma := []uint8{1}
+	for _, e := range erasures {
+		if e < 0 || e >= n {
+			panic("ecc: RS erasure index out of range")
+		}
+		gamma = polyMul(gamma, []uint8{1, gfPow(rs.position(e))})
+	}
+	// Modified syndromes: Ξ(x) = Γ(x)·S(x) mod x^R.
+	sPoly := make([]uint8, rs.R)
+	copy(sPoly, syn)
+	xi := polyMul(gamma, sPoly)
+	if len(xi) > rs.R {
+		xi = xi[:rs.R]
+	}
+
+	// Berlekamp-Massey for the error locator sigma(x), allowing
+	// t <= (R - e)/2 unknown errors. Only the modified syndromes with
+	// index >= e are free of erasure contributions (Forney syndromes),
+	// so BM runs on that tail.
+	e := len(erasures)
+	tMax := (rs.R - e) / 2
+	sigma := rs.berlekampMassey(xi[e:], tMax)
+	if sigma == nil {
+		out := make([]uint8, n)
+		copy(out, cw)
+		return out, StatusDetected
+	}
+
+	// Combined locator Λ(x) = sigma(x)·Γ(x); roots give all bad positions.
+	lambda := polyMul(sigma, gamma)
+	positions := rs.chienSearch(lambda)
+	if len(positions) != len(lambda)-1 {
+		// Locator degree does not match its root count: uncorrectable.
+		out := make([]uint8, n)
+		copy(out, cw)
+		return out, StatusDetected
+	}
+
+	// Forney: error magnitude at position p is
+	//   e_p = Omega(X^-1) / Λ'(X^-1),  X = alpha^p,
+	// with Omega(x) = S(x)·Λ(x) mod x^R.
+	omega := polyMul(sPoly, lambda)
+	if len(omega) > rs.R {
+		omega = omega[:rs.R]
+	}
+	lambdaPrime := polyDeriv(lambda)
+
+	p := rs.codewordPoly(cw)
+	for _, pos := range positions {
+		xInv := gfPow(-pos)
+		den := polyEval(lambdaPrime, xInv)
+		if den == 0 {
+			out := make([]uint8, n)
+			copy(out, cw)
+			return out, StatusDetected
+		}
+		// With first generator root alpha^0 the magnitude carries an
+		// extra X = alpha^pos factor: e = X·Omega(X^-1)/Λ'(X^-1).
+		mag := gfMul(gfPow(pos), gfDiv(polyEval(omega, xInv), den))
+		p[pos] ^= mag
+	}
+	// Verify: corrected word must have all-zero syndromes.
+	for j := 0; j < rs.R; j++ {
+		if polyEval(p, gfPow(j)) != 0 {
+			out := make([]uint8, n)
+			copy(out, cw)
+			return out, StatusDetected
+		}
+	}
+	return rs.polyToCodeword(p), StatusCorrected
+}
+
+// berlekampMassey finds the minimal error-locator polynomial consistent
+// with the syndrome sequence, or nil if its degree would exceed tMax (more
+// errors than the remaining correction budget).
+func (rs *RS) berlekampMassey(syn []uint8, tMax int) []uint8 {
+	c := []uint8{1}
+	b := []uint8{1}
+	l := 0
+	m := 1
+	var bCoef uint8 = 1
+	for i := 0; i < len(syn); i++ {
+		// Discrepancy.
+		var d uint8 = syn[i]
+		for j := 1; j <= l && j < len(c); j++ {
+			d ^= gfMul(c[j], syn[i-j])
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= i {
+			t := make([]uint8, len(c))
+			copy(t, c)
+			// c = c - (d/bCoef)·x^m·b
+			scale := gfDiv(d, bCoef)
+			shifted := make([]uint8, m+len(b))
+			for j, bj := range b {
+				shifted[m+j] = gfMul(bj, scale)
+			}
+			c = polyAdd(c, shifted)
+			l = i + 1 - l
+			b = t
+			bCoef = d
+			m = 1
+		} else {
+			scale := gfDiv(d, bCoef)
+			shifted := make([]uint8, m+len(b))
+			for j, bj := range b {
+				shifted[m+j] = gfMul(bj, scale)
+			}
+			c = polyAdd(c, shifted)
+			m++
+		}
+	}
+	// Trim trailing zeros.
+	for len(c) > 1 && c[len(c)-1] == 0 {
+		c = c[:len(c)-1]
+	}
+	if l > tMax || len(c)-1 != l {
+		return nil
+	}
+	return c
+}
+
+// chienSearch returns the polynomial degrees (0..K+R-1) whose associated
+// points are roots of lambda, i.e. the error positions.
+func (rs *RS) chienSearch(lambda []uint8) []int {
+	var positions []int
+	n := rs.K + rs.R
+	for pos := 0; pos < n; pos++ {
+		if polyEval(lambda, gfPow(-pos)) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	return positions
+}
+
+// CorrectErasuresOnly recovers up to R erased symbols assuming no other
+// symbol is in error (pure erasure decoding, the XED-on-Chipkill fast path,
+// §IX-A). It returns ErrTooManyErasures if len(erasures) > R.
+func (rs *RS) CorrectErasuresOnly(cw []uint8, erasures []int) ([]uint8, error) {
+	if len(erasures) > rs.R {
+		return nil, ErrTooManyErasures
+	}
+	out, st := rs.DecodeErasures(cw, erasures)
+	if st == StatusDetected {
+		return nil, errors.New("ecc: erasure decode failed verification (errors outside erased symbols)")
+	}
+	return out, nil
+}

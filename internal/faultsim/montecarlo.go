@@ -1,0 +1,221 @@
+package faultsim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"xedsim/internal/simrand"
+)
+
+// Result accumulates one scheme's outcome over all trials.
+type Result struct {
+	SchemeName string
+	Trials     uint64
+	Failures   uint64
+	// DUEs and SDCs split Failures by kind (§VIII, Table IV): detected
+	// uncorrectable errors versus silent/mis-corrected data corruption.
+	DUEs, SDCs uint64
+	// FailuresByYear[y] counts systems whose first failure occurred by
+	// the end of year y+1 (cumulative).
+	FailuresByYear []uint64
+}
+
+// Probability returns the probability of system failure over the full
+// lifetime — the paper's figure of merit.
+func (r *Result) Probability() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Trials)
+}
+
+// ProbabilityByYear returns P(failed by end of year y+1).
+func (r *Result) ProbabilityByYear(y int) float64 {
+	if r.Trials == 0 || y < 0 || y >= len(r.FailuresByYear) {
+		return 0
+	}
+	return float64(r.FailuresByYear[y]) / float64(r.Trials)
+}
+
+// DUEProbability returns the detected-uncorrectable share of failures.
+func (r *Result) DUEProbability() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.DUEs) / float64(r.Trials)
+}
+
+// SDCProbability returns the silent-corruption share of failures.
+func (r *Result) SDCProbability() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.SDCs) / float64(r.Trials)
+}
+
+// StdErr returns the binomial standard error of Probability.
+func (r *Result) StdErr() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	p := r.Probability()
+	return math.Sqrt(p * (1 - p) / float64(r.Trials))
+}
+
+// Report is the outcome of one Monte-Carlo campaign.
+type Report struct {
+	Config  Config
+	Trials  uint64
+	Years   int
+	Results []Result
+}
+
+// ResultFor returns the named scheme's result, or nil.
+func (rep *Report) ResultFor(name string) *Result {
+	for i := range rep.Results {
+		if rep.Results[i].SchemeName == name {
+			return &rep.Results[i]
+		}
+	}
+	return nil
+}
+
+// Improvement returns how many times more reliable scheme a is than b
+// (ratio of failure probabilities b/a), the form the paper quotes
+// ("XED provides 172x higher reliability than ECC-DIMM").
+func (rep *Report) Improvement(a, b string) float64 {
+	ra, rb := rep.ResultFor(a), rep.ResultFor(b)
+	if ra == nil || rb == nil || ra.Failures == 0 {
+		return math.Inf(1)
+	}
+	return rb.Probability() / ra.Probability()
+}
+
+// Run executes the Monte-Carlo campaign: `trials` systems, each exposed to
+// one fault stream judged by every scheme. workers <= 0 selects GOMAXPROCS.
+// The run is deterministic for a given (cfg, trials, seed, workers).
+func Run(cfg Config, schemes []Scheme, trials int, seed uint64, workers int) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("faultsim: non-positive trial count %d", trials)
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("faultsim: no schemes to evaluate")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	years := int(math.Ceil(cfg.LifetimeHours / HoursPerYear))
+
+	type shard struct {
+		failures   [][]uint64 // [scheme][year] cumulative
+		total      []uint64
+		dues, sdcs []uint64
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := &shards[w]
+			sh.failures = make([][]uint64, len(schemes))
+			sh.total = make([]uint64, len(schemes))
+			sh.dues = make([]uint64, len(schemes))
+			sh.sdcs = make([]uint64, len(schemes))
+			for s := range schemes {
+				sh.failures[s] = make([]uint64, years)
+			}
+			rng := simrand.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
+			gen := newGenerator(&cfg)
+			var buf []FaultRecord
+			lo, hi := w*trials/workers, (w+1)*trials/workers
+			for t := lo; t < hi; t++ {
+				buf = gen.Trial(rng, buf)
+				for s, scheme := range schemes {
+					var ft float64
+					kind := FailNone
+					if ks, ok := scheme.(KindedScheme); ok {
+						ft, kind = ks.FailTimeKind(&cfg, buf)
+					} else {
+						ft = scheme.FailTime(&cfg, buf)
+					}
+					if math.IsInf(ft, 1) {
+						continue
+					}
+					sh.total[s]++
+					switch kind {
+					case FailDUE:
+						sh.dues[s]++
+					case FailSDC:
+						sh.sdcs[s]++
+					}
+					yr := int(ft / HoursPerYear)
+					if yr >= years {
+						yr = years - 1
+					}
+					for y := yr; y < years; y++ {
+						sh.failures[s][y]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &Report{Config: cfg, Trials: uint64(trials), Years: years}
+	for s, scheme := range schemes {
+		res := Result{SchemeName: scheme.Name(), Trials: uint64(trials), FailuresByYear: make([]uint64, years)}
+		for w := range shards {
+			res.Failures += shards[w].total[s]
+			res.DUEs += shards[w].dues[s]
+			res.SDCs += shards[w].sdcs[s]
+			for y := 0; y < years; y++ {
+				res.FailuresByYear[y] += shards[w].failures[s][y]
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// AllSchemes returns the six organisations the paper evaluates, in the
+// order they appear across Figures 1, 7 and 9.
+func AllSchemes() []Scheme {
+	return []Scheme{
+		NewNonECC(),
+		NewSECDED(),
+		NewXED(),
+		NewChipkill(),
+		NewDoubleChipkill(),
+		NewXEDChipkill(),
+	}
+}
+
+// ImprovementCI returns the reliability-improvement ratio of scheme a over
+// scheme b together with an approximate 95% confidence interval, using the
+// delta method on the log-ratio of two binomial proportions (the trials
+// share fault streams, so this is conservative: shared randomness only
+// tightens the true interval).
+func (rep *Report) ImprovementCI(a, b string) (ratio, lo, hi float64) {
+	ra, rb := rep.ResultFor(a), rep.ResultFor(b)
+	if ra == nil || rb == nil || ra.Failures == 0 || rb.Failures == 0 {
+		return math.Inf(1), 0, math.Inf(1)
+	}
+	ratio = rb.Probability() / ra.Probability()
+	// Var(log p̂) ≈ (1-p)/(np) for a binomial proportion.
+	n := float64(ra.Trials)
+	va := (1 - ra.Probability()) / (n * ra.Probability())
+	vb := (1 - rb.Probability()) / (n * rb.Probability())
+	se := math.Sqrt(va + vb)
+	lo = ratio * math.Exp(-1.96*se)
+	hi = ratio * math.Exp(1.96*se)
+	return ratio, lo, hi
+}

@@ -1,0 +1,200 @@
+package faultsim
+
+import (
+	"math"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+// FaultRecord is one runtime fault instance in one chip of the fleet.
+type FaultRecord struct {
+	// Channel, Rank, Chip locate the afflicted device.
+	Channel, Rank, Chip int
+	// Start and End bound the interval (in hours) during which the
+	// fault corrupts reads: permanent faults run to the lifetime's end,
+	// transient faults until the next patrol scrub.
+	Start, End float64
+	// Gran and Transient classify the fault. GranChip records a
+	// multi-rank event's footprint in this chip.
+	Gran      dram.Granularity
+	Transient bool
+	// Silent is true when the on-die code misses the fault's damage in
+	// the accessed word (sampled at SilentWordFraction for word faults).
+	Silent bool
+	// EscalatedByScaling marks a single-bit runtime fault that landed
+	// in a word already holding a birthtime weak cell: the 2-bit
+	// combination exceeds on-die *correction* (it is still detected),
+	// so the fault becomes visible outside the chip (§VII, footnote 2).
+	EscalatedByScaling bool
+	// Range is the symbolic address range, used when the precise
+	// address-overlap criterion is enabled.
+	Range dram.Fault
+	// EventID groups the per-chip records of one multi-rank event.
+	EventID uint64
+}
+
+// Overlaps reports whether the two faults' active intervals intersect.
+func (f *FaultRecord) Overlaps(o *FaultRecord) bool {
+	return f.Start < o.End && o.Start < f.End
+}
+
+// OverlapStart returns the instant both faults are first active together.
+func (f *FaultRecord) OverlapStart(o *FaultRecord) float64 {
+	return math.Max(f.Start, o.Start)
+}
+
+// generator draws the fault stream for one trial.
+type generator struct {
+	cfg *Config
+	// classMeans[i] is the expected number of class-i faults across the
+	// whole fleet and lifetime; cumWeights supports O(log n) sampling.
+	classMeans []float64
+	totalMean  float64
+	nextEvent  uint64
+}
+
+func newGenerator(cfg *Config) *generator {
+	g := &generator{cfg: cfg}
+	chips := float64(cfg.TotalChips())
+	for _, cls := range cfg.FITs {
+		perChip := float64(cls.Rate) * 1e-9 * cfg.LifetimeHours
+		mean := perChip * chips
+		if cls.Gran == dram.GranChip {
+			// Multi-rank faults live in circuitry shared by the
+			// ranks of one DIMM (register/buffer, shared I/O), so
+			// the natural event unit is the DIMM: one event per
+			// DIMM at the Table I rate, expanded into one chip
+			// record per rank.
+			mean = float64(cls.Rate) * 1e-9 * cfg.LifetimeHours * float64(cfg.Channels)
+		}
+		g.classMeans = append(g.classMeans, mean)
+		g.totalMean += mean
+	}
+	return g
+}
+
+// Trial appends this trial's fault records to buf and returns it. The
+// returned slice is valid until the next call with the same buf. Under an
+// aging profile, candidates are drawn at the envelope rate and thinned to
+// the instantaneous multiplier, which samples the non-homogeneous Poisson
+// process exactly.
+func (g *generator) Trial(rng *simrand.Source, buf []FaultRecord) []FaultRecord {
+	buf = buf[:0]
+	aging := g.cfg.Aging
+	if !aging.enabled() {
+		n := rng.Poisson(g.totalMean)
+		for i := 0; i < n; i++ {
+			cls := g.sampleClass(rng)
+			buf = g.emit(rng, buf, g.cfg.FITs[cls])
+		}
+		return buf
+	}
+	peak := aging.Peak()
+	n := rng.Poisson(g.totalMean * peak)
+	for i := 0; i < n; i++ {
+		// Candidate onset; thin against the bathtub.
+		x := rng.Float64()
+		if !rng.Bernoulli(aging.Multiplier(x) / peak) {
+			continue
+		}
+		cls := g.sampleClass(rng)
+		buf = g.emitAt(rng, buf, g.cfg.FITs[cls], x*g.cfg.LifetimeHours)
+	}
+	return buf
+}
+
+func (g *generator) sampleClass(rng *simrand.Source) int {
+	u := rng.Float64() * g.totalMean
+	for i, m := range g.classMeans {
+		u -= m
+		if u < 0 {
+			return i
+		}
+	}
+	return len(g.classMeans) - 1
+}
+
+func (g *generator) emit(rng *simrand.Source, buf []FaultRecord, cls ClassRate) []FaultRecord {
+	return g.emitAt(rng, buf, cls, rng.Float64()*g.cfg.LifetimeHours)
+}
+
+// emitAt emits one fault with a fixed onset time.
+func (g *generator) emitAt(rng *simrand.Source, buf []FaultRecord, cls ClassRate, start float64) []FaultRecord {
+	cfg := g.cfg
+	end := cfg.LifetimeHours
+	if cls.Transient {
+		// The next patrol scrub clears a transient upset.
+		scrub := math.Ceil(start/cfg.ScrubIntervalHours) * cfg.ScrubIntervalHours
+		end = math.Min(scrub, cfg.LifetimeHours)
+		if end <= start {
+			end = math.Min(start+cfg.ScrubIntervalHours, cfg.LifetimeHours)
+		}
+	}
+	ch := rng.Intn(cfg.Channels)
+	rank := rng.Intn(cfg.RanksPerChannel)
+	chip := rng.Intn(cfg.ChipsPerRank)
+
+	base := FaultRecord{
+		Channel: ch, Rank: rank, Chip: chip,
+		Start: start, End: end,
+		Gran: cls.Gran, Transient: cls.Transient,
+		Range: g.randomRange(rng, cls),
+	}
+	if cls.Gran == dram.GranWord && cfg.OnDie {
+		base.Silent = rng.Bernoulli(cfg.SilentWordFraction)
+	}
+	if cls.Gran == dram.GranBit && cfg.OnDie && cfg.ScalingRate > 0 {
+		// Probability the struck word already holds a weak cell among
+		// its other 71 bits.
+		p := 1 - math.Pow(1-cfg.ScalingRate, 71)
+		base.EscalatedByScaling = rng.Bernoulli(p)
+	}
+	if cls.Gran == dram.GranChip {
+		// Multi-rank event: same chip position in every rank of the
+		// DIMM.
+		g.nextEvent++
+		base.EventID = g.nextEvent
+		for r := 0; r < cfg.RanksPerChannel; r++ {
+			rec := base
+			rec.Rank = r
+			buf = append(buf, rec)
+		}
+		return buf
+	}
+	return append(buf, base)
+}
+
+// randomRange draws the symbolic address range for the fault.
+func (g *generator) randomRange(rng *simrand.Source, cls ClassRate) dram.Fault {
+	geom := g.cfg.Geom
+	seed := rng.Uint64()
+	switch cls.Gran {
+	case dram.GranBit:
+		a := dram.WordAddr{Bank: rng.Intn(geom.Banks), Row: rng.Intn(geom.RowsPerBank), Col: rng.Intn(geom.ColsPerRow)}
+		return dram.NewBitFault(a, rng.Intn(72), cls.Transient)
+	case dram.GranWord:
+		a := dram.WordAddr{Bank: rng.Intn(geom.Banks), Row: rng.Intn(geom.RowsPerBank), Col: rng.Intn(geom.ColsPerRow)}
+		mask := rng.Uint64()
+		if mask == 0 {
+			mask = 3
+		}
+		return dram.NewWordFault(a, mask, uint8(rng.Uint64()), cls.Transient)
+	case dram.GranColumn:
+		return dram.NewColumnFault(rng.Intn(geom.Banks), rng.Intn(geom.ColsPerRow), cls.Transient, seed)
+	case dram.GranRow:
+		return dram.NewRowFault(rng.Intn(geom.Banks), rng.Intn(geom.RowsPerBank), cls.Transient, seed)
+	case dram.GranBank:
+		return dram.NewBankFault(rng.Intn(geom.Banks), cls.Transient, seed)
+	case dram.GranMultiBank:
+		// Two to all banks of the chip.
+		n := 2 + rng.Intn(geom.Banks-1)
+		var mask uint64
+		for i := 0; i < n; i++ {
+			mask |= 1 << uint(rng.Intn(geom.Banks))
+		}
+		return dram.NewMultiBankFault(mask, cls.Transient, seed)
+	default: // GranChip / multi-rank
+		return dram.NewChipFault(cls.Transient, seed)
+	}
+}

@@ -1,0 +1,267 @@
+package faultsim
+
+import (
+	"math"
+
+	"xedsim/internal/dram"
+)
+
+// Scheme judges one trial's fault stream for one protection organisation.
+type Scheme interface {
+	// Name identifies the scheme in tables.
+	Name() string
+	// FailTime returns the earliest hour at which the scheme's system
+	// fails (uncorrectable, mis-corrected or silent error), or +Inf if
+	// it survives the whole lifetime.
+	FailTime(cfg *Config, faults []FaultRecord) float64
+}
+
+// chipWeight is the correction budget one faulty chip consumes in an
+// erasure-style scheme:
+//
+//	0 — invisible outside the chip (single-bit fault absorbed on-die) or
+//	    correctable without consuming chip-level budget;
+//	1 — a located chip error (catch-word, or RS-locatable);
+//	2 — an *unlocated* chip error: erasure decoding spends two check
+//	    symbols (2t+e ≤ R) on a chip whose damage produced no catch-word.
+type weightFunc func(cfg *Config, r *FaultRecord) int
+
+// domainScheme is the shared evaluation engine: a protection domain is a
+// set of chips, and the system fails the first instant the total weight of
+// concurrently faulty distinct chips in any domain exceeds the capacity.
+type domainScheme struct {
+	name     string
+	domainOf func(cfg *Config, r *FaultRecord) int
+	capacity int
+	weight   weightFunc
+	kind     kindFunc
+}
+
+// Name implements Scheme.
+func (s *domainScheme) Name() string { return s.name }
+
+// FailTime implements Scheme.
+func (s *domainScheme) FailTime(cfg *Config, faults []FaultRecord) float64 {
+	t, _ := s.FailTimeKind(cfg, faults)
+	return t
+}
+
+// FailTimeKind implements KindedScheme: the earliest failure instant plus
+// its DUE/SDC classification.
+func (s *domainScheme) FailTimeKind(cfg *Config, faults []FaultRecord) (float64, FailKind) {
+	// Without On-Die ECC, birthtime scaling faults saturate every
+	// scheme immediately: at 10^-4 per bit, codewords with multi-bit
+	// weak-cell damage are certain somewhere in a 4-channel fleet
+	// (§II-B: this is why vendors add On-Die ECC at all).
+	if !cfg.OnDie && cfg.ScalingRate > 0 {
+		return 0, FailSDC
+	}
+	fail := math.Inf(1)
+	kind := FailNone
+	for i := range faults {
+		r := &faults[i]
+		w := s.weight(cfg, r)
+		if w == 0 {
+			continue
+		}
+		if w > s.capacity {
+			// This fault alone defeats the scheme.
+			if r.Start < fail {
+				fail = r.Start
+				silent := 0
+				if isSilentRecord(r) {
+					silent = 1
+				}
+				kind = s.kind(silent, 1, eventHash(r))
+			}
+			continue
+		}
+		// Anchor a concurrency probe at r.Start: sum the weights of
+		// distinct faulty chips active at that instant within r's
+		// domain. Any compound failure's onset coincides with some
+		// record's start, so probing starts is exhaustive.
+		t := r.Start
+		if t >= fail {
+			continue
+		}
+		dom := s.domainOf(cfg, r)
+		total := w
+		silent := 0
+		if isSilentRecord(r) {
+			silent = 1
+		}
+		type chipKey struct{ ch, rank, chip int }
+		seen := map[chipKey]int{{r.Channel, r.Rank, r.Chip}: w}
+		for j := range faults {
+			o := &faults[j]
+			if i == j || o.Start > t || o.End <= t {
+				continue
+			}
+			if s.domainOf(cfg, o) != dom {
+				continue
+			}
+			ow := s.weight(cfg, o)
+			if ow == 0 {
+				continue
+			}
+			if cfg.RequireAddressOverlap && !r.Range.Intersects(&o.Range) {
+				continue
+			}
+			key := chipKey{o.Channel, o.Rank, o.Chip}
+			if prev, ok := seen[key]; ok {
+				if ow > prev {
+					total += ow - prev
+					seen[key] = ow
+				}
+				continue
+			}
+			seen[key] = ow
+			total += ow
+			if isSilentRecord(o) {
+				silent++
+			}
+		}
+		if total > s.capacity {
+			fail = t
+			kind = s.kind(silent, len(seen), eventHash(r))
+		}
+	}
+	return fail, kind
+}
+
+// --- domain mappings ---
+
+// rankDomain: each rank protects itself (Non-ECC, SECDED, XED).
+func rankDomain(cfg *Config, r *FaultRecord) int {
+	return r.Channel*cfg.RanksPerChannel + r.Rank
+}
+
+// dimmGangDomain gangs both ranks of one channel's dual-rank DIMM — the
+// paper's x8 Chipkill organisation ("accessing two memory ranks (x8
+// devices) simultaneously", §I). The 18-chip gang is one DIMM, so a
+// multi-rank fault puts two concurrently faulty chips into a single gang —
+// fatal for single-symbol correction, survivable for the two-erasure
+// schemes. This asymmetry is one of the mechanisms behind XED's 4x edge
+// over Chipkill in Figure 7.
+func dimmGangDomain(cfg *Config, r *FaultRecord) int {
+	return r.Channel
+}
+
+// dimmPairGangDomain gangs the two DIMMs of channels {2i, 2i+1} — the
+// 36-chip Double-Chipkill organisation (four ranks across two channels).
+func dimmPairGangDomain(cfg *Config, r *FaultRecord) int {
+	return r.Channel / 2
+}
+
+// --- weight functions ---
+
+// visibleWeight is the baseline: single-bit faults are absorbed on-die
+// (weight 0) unless a birthtime scaling fault shares the word and the
+// 2-bit combination escapes on-die correction — then the damage is visible
+// but always *detected* (weight 1). Everything word-sized and bigger is a
+// chip-level error (weight 1).
+func visibleWeight(cfg *Config, r *FaultRecord) int {
+	if r.Gran == dram.GranBit {
+		if !cfg.OnDie {
+			return 1
+		}
+		if r.EscalatedByScaling {
+			return 1
+		}
+		return 0
+	}
+	return 1
+}
+
+// secdedWeight: DIMM-level SECDED corrects one bit per beat, so bit faults
+// stay weight 0 even without On-Die ECC; anything larger defeats it.
+func secdedWeight(cfg *Config, r *FaultRecord) int {
+	if r.Gran == dram.GranBit {
+		if cfg.OnDie && r.EscalatedByScaling {
+			return 1
+		}
+		if !cfg.OnDie {
+			return 0 // corrected by the DIMM-level code itself
+		}
+		return 0
+	}
+	return 1
+}
+
+// xedWeight: catch-words locate every on-die-detected fault (weight 1).
+// A *silent* word fault is only recoverable through diagnosis: Intra-Line
+// diagnosis convicts permanent damage, and Inter-Line convicts anything
+// spanning multiple lines, so the sole unlocatable case is a silent
+// TRANSIENT word fault — the §VIII DUE — which exceeds any budget.
+func xedWeight(cfg *Config, r *FaultRecord) int {
+	w := visibleWeight(cfg, r)
+	if w == 0 {
+		return 0
+	}
+	if r.Silent && r.Transient && r.Gran == dram.GranWord {
+		return 2 // unlocated and undiagnosable: 2 > capacity 1
+	}
+	return 1
+}
+
+// xedChipkillWeight: erasure decoding with R=2 check symbols. A silent
+// word fault produces no catch-word, so locating it spends both symbols
+// (2t ≤ R); it weighs 2.
+func xedChipkillWeight(cfg *Config, r *FaultRecord) int {
+	w := visibleWeight(cfg, r)
+	if w == 0 {
+		return 0
+	}
+	if r.Silent && r.Gran == dram.GranWord {
+		return 2
+	}
+	return 1
+}
+
+// --- the six evaluated organisations ---
+
+// nonECCWeight: the ordinary DIMM has no ninth chip, so faults that the
+// shared generator lands on the last chip position simply do not exist in
+// this organisation.
+func nonECCWeight(cfg *Config, r *FaultRecord) int {
+	if r.Chip >= cfg.ChipsPerRank-1 {
+		return 0
+	}
+	return visibleWeight(cfg, r)
+}
+
+// NewNonECC is the 8-chip DIMM of Figure 1: no DIMM-level redundancy at
+// all; any visible fault is silent data corruption.
+func NewNonECC() Scheme {
+	return &domainScheme{name: "NonECC", domainOf: rankDomain, capacity: 0, weight: nonECCWeight, kind: nonECCKind}
+}
+
+// NewSECDED is the conventional 9-chip ECC-DIMM (§II-D1).
+func NewSECDED() Scheme {
+	return &domainScheme{name: "ECC-DIMM (SECDED)", domainOf: rankDomain, capacity: 0, weight: secdedWeight, kind: secdedKind}
+}
+
+// NewXED is the paper's proposal on a 9-chip ECC-DIMM: one erasure per
+// rank via catch-words + RAID-3 parity (§V), diagnosis for silent
+// permanent faults (§VI), serial-mode for scaling faults (§VII).
+func NewXED() Scheme {
+	return &domainScheme{name: "XED", domainOf: rankDomain, capacity: 1, weight: xedWeight, kind: xedKind}
+}
+
+// NewChipkill is commercial SSC-DSD Chipkill over 18 lockstepped chips:
+// corrects one chip, detects two (detection without correction is still a
+// failed system).
+func NewChipkill() Scheme {
+	return &domainScheme{name: "Chipkill", domainOf: dimmGangDomain, capacity: 1, weight: visibleWeight, kind: chipkillKind}
+}
+
+// NewDoubleChipkill corrects any two chips among 36 (§IX).
+func NewDoubleChipkill() Scheme {
+	return &domainScheme{name: "Double-Chipkill", domainOf: dimmPairGangDomain, capacity: 2, weight: visibleWeight, kind: dblChipkillKind}
+}
+
+// NewXEDChipkill is XED over Single-Chipkill hardware: catch-words turn
+// the two check symbols into two erasure corrections (§IX-A).
+func NewXEDChipkill() Scheme {
+	return &domainScheme{name: "XED+Chipkill", domainOf: dimmGangDomain, capacity: 2, weight: xedChipkillWeight, kind: xedChipkillKind}
+}

@@ -1,0 +1,116 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+// Fault-trace serialisation: a recorded campaign slice that can be
+// re-judged by any scheme later, diffed across code versions, or handed to
+// the functional model for replay. FaultSim grew the same facility for
+// exactly these reasons — debugging a reliability model is hopeless
+// without reproducible fault streams.
+
+// Trace is a set of trials' fault records plus the generating config.
+type Trace struct {
+	Config Config          `json:"config"`
+	Seed   uint64          `json:"seed"`
+	Trials [][]FaultRecord `json:"trials"`
+}
+
+// CaptureTrace generates and records `trials` fault streams.
+func CaptureTrace(cfg Config, trials int, seed uint64) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("faultsim: non-positive trial count %d", trials)
+	}
+	rng := simrand.New(seed)
+	gen := newGenerator(&cfg)
+	tr := &Trace{Config: cfg, Seed: seed, Trials: make([][]FaultRecord, trials)}
+	for t := 0; t < trials; t++ {
+		buf := gen.Trial(rng, nil)
+		tr.Trials[t] = append([]FaultRecord(nil), buf...)
+	}
+	return tr, nil
+}
+
+// WriteJSON serialises the trace.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// ReadTrace deserialises a trace written by WriteJSON.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("faultsim: decoding trace: %w", err)
+	}
+	if err := tr.Config.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Judge evaluates every recorded trial under the given schemes, producing
+// the same Report shape as Run.
+func (tr *Trace) Judge(schemes []Scheme) (*Report, error) {
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("faultsim: no schemes to evaluate")
+	}
+	years := int(tr.Config.LifetimeHours/HoursPerYear + 0.999999)
+	rep := &Report{Config: tr.Config, Trials: uint64(len(tr.Trials)), Years: years}
+	for _, scheme := range schemes {
+		res := Result{SchemeName: scheme.Name(), Trials: uint64(len(tr.Trials)), FailuresByYear: make([]uint64, years)}
+		for _, faults := range tr.Trials {
+			var ft float64
+			kind := FailNone
+			if ks, ok := scheme.(KindedScheme); ok {
+				ft, kind = ks.FailTimeKind(&tr.Config, faults)
+			} else {
+				ft = scheme.FailTime(&tr.Config, faults)
+			}
+			if ft > tr.Config.LifetimeHours {
+				continue
+			}
+			res.Failures++
+			switch kind {
+			case FailDUE:
+				res.DUEs++
+			case FailSDC:
+				res.SDCs++
+			}
+			yr := int(ft / HoursPerYear)
+			if yr >= years {
+				yr = years - 1
+			}
+			for y := yr; y < years; y++ {
+				res.FailuresByYear[y]++
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// ApplyToChip replays one trial's faults for a specific chip position into
+// the functional DRAM model — the bridge between the statistical and
+// functional halves of the repo.
+func ApplyToChip(faults []FaultRecord, channel, rank, chip int, target *dram.Chip) int {
+	applied := 0
+	for i := range faults {
+		r := &faults[i]
+		if r.Channel != channel || r.Rank != rank || r.Chip != chip {
+			continue
+		}
+		target.InjectFault(r.Range)
+		applied++
+	}
+	return applied
+}

@@ -1,0 +1,211 @@
+package memsim
+
+import "xedsim/internal/simrand"
+
+// The processor front end follows USIMM's model (§X, Table V): each core
+// has a 160-entry ROB, fetches and retires 4 instructions per core cycle,
+// and runs at 4x the memory bus clock — so up to 16 instructions enter and
+// leave the window per memory cycle. Non-memory instructions complete
+// instantly; a read occupies its ROB slot until data returns, stalling
+// retirement when it reaches the head; writes retire into the controller's
+// write queue.
+
+// robEntry is one window entry; non-memory instructions are batched.
+type robEntry struct {
+	count int  // instructions represented
+	ready bool // reads flip this on data return
+	owner *core
+}
+
+// traceSource feeds a core its instruction stream: the synthetic
+// generator, or a recorded USIMM trace file.
+type traceSource interface {
+	next() (int, *traceOp)
+}
+
+// core is one trace-driven processor.
+type core struct {
+	id    int
+	mlp   int
+	trace traceSource
+
+	rob      []*robEntry
+	robInstr int // instructions currently in the window
+
+	retired int64
+	target  int64
+	done    bool
+
+	// outstanding counts in-flight demand reads, capped at the
+	// workload's MLP.
+	outstanding int
+
+	// pendingGap holds non-memory instructions still to fetch before
+	// the next memory operation.
+	pendingGap int
+	// pendingOp is the memory op waiting to enter the window.
+	pendingOp *traceOp
+}
+
+const (
+	robSize          = 160
+	instrPerMemCycle = 8 // sustainable half of the 4-wide x 4-cycle peak
+)
+
+// traceOp is the next memory operation of a trace.
+type traceOp struct {
+	isWrite                       bool
+	channel, rank, bank, row, col int
+}
+
+// fetch moves up to instrPerMemCycle instructions into the window,
+// emitting memory requests via the simulator. It stops when the window or
+// the write queue is full.
+func (c *core) fetch(sim *Simulator) {
+	budget := instrPerMemCycle
+	for budget > 0 && !c.done {
+		if c.pendingGap == 0 && c.pendingOp == nil {
+			gap, op := c.trace.next()
+			c.pendingGap, c.pendingOp = gap, op
+		}
+		if c.pendingGap > 0 {
+			n := c.pendingGap
+			if n > budget {
+				n = budget
+			}
+			if c.robInstr+n > robSize {
+				n = robSize - c.robInstr
+			}
+			if n == 0 {
+				return
+			}
+			c.appendBatch(n)
+			c.pendingGap -= n
+			budget -= n
+			continue
+		}
+		// A memory operation needs one window slot.
+		if c.robInstr+1 > robSize {
+			return
+		}
+		op := c.pendingOp
+		if op.isWrite {
+			if !sim.enqueueWrite(op) {
+				return // write queue full: stall fetch
+			}
+			c.appendReady()
+		} else {
+			if c.outstanding >= c.mlp {
+				return // MLP limit: dependent miss cannot issue yet
+			}
+			entry := &robEntry{count: 1, owner: c}
+			c.rob = append(c.rob, entry)
+			c.robInstr++
+			c.outstanding++
+			sim.enqueueRead(c, entry, op)
+		}
+		c.pendingOp = nil
+		budget--
+	}
+}
+
+// appendBatch adds n immediately-ready instructions, merging with the
+// window tail when possible.
+func (c *core) appendBatch(n int) {
+	if len(c.rob) > 0 {
+		last := c.rob[len(c.rob)-1]
+		if last.ready {
+			last.count += n
+			c.robInstr += n
+			return
+		}
+	}
+	c.rob = append(c.rob, &robEntry{count: n, ready: true})
+	c.robInstr += n
+}
+
+func (c *core) appendReady() { c.appendBatch(1) }
+
+// retire drains up to instrPerMemCycle completed instructions in order.
+func (c *core) retire() {
+	budget := instrPerMemCycle
+	for budget > 0 && len(c.rob) > 0 {
+		head := c.rob[0]
+		if !head.ready {
+			return
+		}
+		n := head.count
+		if n > budget {
+			head.count -= budget
+			c.robInstr -= budget
+			c.retired += int64(budget)
+			budget = 0
+			break
+		}
+		c.rob = c.rob[1:]
+		c.robInstr -= n
+		c.retired += int64(n)
+		budget -= n
+	}
+	if c.retired >= c.target {
+		c.done = true
+	}
+}
+
+// traceGen synthesises a memory-access trace with a target read MPKI,
+// write PKI and row-buffer locality — the three knobs that determine how
+// a workload responds to losing rank parallelism and bus bandwidth.
+type traceGen struct {
+	rng  *simrand.Source
+	w    Workload
+	geom systemGeom
+
+	// current open-page stream.
+	channel, rank, bank, row, col int
+
+	avgGap    float64 // non-memory instructions per memory op
+	writeFrac float64
+}
+
+// systemGeom is the address-space shape visible to traces.
+type systemGeom struct {
+	channels, ranks, banks, rows, cols int
+}
+
+func newTraceGen(w Workload, geom systemGeom, seed uint64) *traceGen {
+	memPKI := w.ReadMPKI + w.WritePKI
+	t := &traceGen{
+		rng:       simrand.New(seed),
+		w:         w,
+		geom:      geom,
+		avgGap:    1000 / memPKI,
+		writeFrac: w.WritePKI / memPKI,
+	}
+	t.jump()
+	return t
+}
+
+// jump opens a fresh random page.
+func (t *traceGen) jump() {
+	t.channel = t.rng.Intn(t.geom.channels)
+	t.rank = t.rng.Intn(t.geom.ranks)
+	t.bank = t.rng.Intn(t.geom.banks)
+	t.row = t.rng.Intn(t.geom.rows)
+	t.col = t.rng.Intn(t.geom.cols)
+}
+
+// next yields the instruction gap before the next memory op and the op.
+func (t *traceGen) next() (int, *traceOp) {
+	// Geometric gap around the mean keeps bursts realistic.
+	gap := int(t.rng.ExpFloat64() * t.avgGap)
+	if !t.rng.Bernoulli(t.w.RowBufferLocality) {
+		t.jump()
+	} else {
+		t.col = (t.col + 1) % t.geom.cols
+	}
+	op := &traceOp{
+		isWrite: t.rng.Bernoulli(t.writeFrac),
+		channel: t.channel, rank: t.rank, bank: t.bank, row: t.row, col: t.col,
+	}
+	return gap, op
+}

@@ -1,0 +1,97 @@
+package memsim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Comparison holds the normalised execution-time and memory-power matrix
+// of Figures 11 and 12: every workload under every scheme, normalised to
+// the first scheme (the ECC-DIMM SECDED baseline, per §XI).
+type Comparison struct {
+	Workloads []Workload
+	Schemes   []SchemeConfig
+	// Raw results indexed [workload][scheme].
+	Results [][]Result
+}
+
+// RunComparison simulates every (workload, scheme) pair. instrPerCore
+// scales fidelity versus runtime; workers <= 0 uses GOMAXPROCS.
+func RunComparison(workloads []Workload, schemes []SchemeConfig, instrPerCore int64, seed uint64, workers int) *Comparison {
+	cmp := &Comparison{Workloads: workloads, Schemes: schemes}
+	cmp.Results = make([][]Result, len(workloads))
+	for i := range cmp.Results {
+		cmp.Results[i] = make([]Result, len(schemes))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ w, s int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := DefaultConfig(workloads[j.w], schemes[j.s])
+				cfg.InstrPerCore = instrPerCore
+				cfg.Seed = seed + uint64(j.w)*977
+				cmp.Results[j.w][j.s] = New(cfg).Run()
+			}
+		}()
+	}
+	for w := range workloads {
+		for s := range schemes {
+			jobs <- job{w, s}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return cmp
+}
+
+// NormalizedTime returns execution time of (workload w, scheme s) relative
+// to scheme 0.
+func (c *Comparison) NormalizedTime(w, s int) float64 {
+	return float64(c.Results[w][s].Cycles) / float64(c.Results[w][0].Cycles)
+}
+
+// NormalizedPower returns memory power relative to scheme 0.
+func (c *Comparison) NormalizedPower(w, s int) float64 {
+	return c.Results[w][s].Power.Total() / c.Results[w][0].Power.Total()
+}
+
+// GmeanTime is the geometric-mean normalised execution time of scheme s —
+// the "Gmean" bar of Figure 11.
+func (c *Comparison) GmeanTime(s int) float64 {
+	return c.gmean(s, c.NormalizedTime, nil)
+}
+
+// GmeanPower is Figure 12's Gmean bar.
+func (c *Comparison) GmeanPower(s int) float64 {
+	return c.gmean(s, c.NormalizedPower, nil)
+}
+
+// SuiteGmeanTime restricts the geometric mean to one suite (Figure 14's
+// per-suite bars).
+func (c *Comparison) SuiteGmeanTime(s int, suite string) float64 {
+	filter := func(w Workload) bool { return w.Suite == suite }
+	return c.gmean(s, c.NormalizedTime, filter)
+}
+
+func (c *Comparison) gmean(s int, metric func(w, s int) float64, filter func(Workload) bool) float64 {
+	sum, n := 0.0, 0
+	for w := range c.Workloads {
+		if filter != nil && !filter(c.Workloads[w]) {
+			continue
+		}
+		sum += math.Log(metric(w, s))
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,26 @@
+package memsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestProbeTimeline is a development aid: run with -run ProbeTimeline -v.
+func TestProbeTimeline(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("probe only under -v")
+	}
+	w := Workload{Name: "probe", Suite: "X", ReadMPKI: 25, WritePKI: 0.0001, RowBufferLocality: 0.93}
+	cfg := DefaultConfig(w, ChipkillScheme())
+	cfg.Cores = 1
+	cfg.InstrPerCore = 4000
+	s := New(cfg)
+	s.debug = func(kind string, r *request, a, b int64) {
+		if s.now < 3000 {
+			fmt.Printf("t=%5d %-7s ch=%d bank=%d row=%6d col=%3d a=%d b=%d\n",
+				s.now, kind, r.channel, r.bank, r.row, r.col, a, b)
+		}
+	}
+	res := s.Run()
+	fmt.Printf("cycles=%d lat=%.1f reads=%d\n", res.Cycles, res.AvgReadLatency(), res.Reads)
+}

@@ -1,0 +1,43 @@
+package memsim
+
+// reqKind distinguishes demand reads, demand writes, and the companion
+// traffic some schemes add.
+type reqKind int
+
+const (
+	reqRead reqKind = iota
+	reqWrite
+)
+
+// request is one memory transaction from the controller's point of view.
+type request struct {
+	kind reqKind
+	// channel is the first channel of the (possibly ganged) access;
+	// rank the first rank. bank/row/col name the open-page target.
+	channel, rank, bank, row, col int
+	// core owning the demand read (-1 for writes and companions).
+	core int
+	// robSlot links a read back to the issuing core's ROB entry.
+	robSlot *robEntry
+	// arrive is the enqueue cycle (FCFS tiebreak and latency stats).
+	arrive int64
+	// companion marks scheme-generated extra traffic.
+	companion bool
+}
+
+// queue is a simple FIFO with removal, small enough that linear scans are
+// faster than anything clever.
+type queue struct {
+	items []*request
+}
+
+func (q *queue) push(r *request)   { q.items = append(q.items, r) }
+func (q *queue) len() int          { return len(q.items) }
+func (q *queue) at(i int) *request { return q.items[i] }
+
+func (q *queue) removeAt(i int) *request {
+	r := q.items[i]
+	copy(q.items[i:], q.items[i+1:])
+	q.items = q.items[:len(q.items)-1]
+	return r
+}

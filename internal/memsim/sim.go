@@ -1,0 +1,616 @@
+package memsim
+
+import (
+	"fmt"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+// Config assembles one simulation: the Table V system, a workload run in
+// rate mode on every core, and a reliability scheme's resource mapping.
+type Config struct {
+	Timing Timing
+
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	RowsPerBank     int
+	ColsPerRow      int
+
+	Cores        int
+	InstrPerCore int64
+
+	WriteQueueCap int
+	DrainHi       int
+	DrainLo       int
+
+	// ClosePage selects the closed-page row policy: every column access
+	// auto-precharges its row. Open-page (default) is the Table V
+	// baseline; the ablation bench contrasts the two.
+	ClosePage bool
+
+	// StrictFCFS disables first-ready reordering: the scheduler serves
+	// the oldest request only, the classic FCFS baseline FR-FCFS is
+	// measured against.
+	StrictFCFS bool
+
+	// DisableRefresh turns off auto-refresh — the no-refresh ablation
+	// quantifying how much of the baseline's time and power refresh
+	// costs (and what eliminating it would buy).
+	DisableRefresh bool
+
+	// PowerDown enables CKE precharge power-down: a rank idle for more
+	// than PowerDownAfter cycles drops to IDD2P standby and pays tXP to
+	// wake. Off by default so the headline Figure 12 numbers stay
+	// reproducible; the ablation bench flips it.
+	PowerDown      bool
+	PowerDownAfter int64
+
+	Scheme   SchemeConfig
+	Workload Workload
+	Seed     uint64
+
+	// TraceOps, when non-nil, replaces the synthetic generator: every
+	// core replays this recorded USIMM-format stream (rate mode), with
+	// per-core offsets so the copies do not run in lockstep.
+	TraceOps []TraceOpRecord
+}
+
+// DefaultConfig is the paper's baseline system (Table V) at a trace length
+// suitable for regression runs; the experiment CLIs raise InstrPerCore.
+func DefaultConfig(w Workload, s SchemeConfig) Config {
+	return Config{
+		Timing:          DDR31600(),
+		Channels:        4,
+		RanksPerChannel: 2,
+		BanksPerRank:    8,
+		RowsPerBank:     32768,
+		ColsPerRow:      128,
+		Cores:           8,
+		InstrPerCore:    300_000,
+		WriteQueueCap:   64,
+		DrainHi:         40,
+		DrainLo:         20,
+		Scheme:          s,
+		Workload:        w,
+		Seed:            1,
+	}
+}
+
+// Result reports one simulation's outcome.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	Cycles       int64
+	Instructions int64
+
+	Reads, Writes   int64
+	CompanionReads  int64
+	CompanionWrites int64
+	SumReadLatency  int64
+
+	// Activates counts row activations across the fleet; BusCycles the
+	// data-bus cycles consumed (all channels).
+	Activates int64
+	BusCycles int64
+
+	Power PowerBreakdown
+}
+
+// RowHitRate estimates the fraction of accesses served without a fresh
+// activation.
+func (r *Result) RowHitRate() float64 {
+	accesses := r.Reads + r.Writes + r.CompanionReads + r.CompanionWrites
+	if accesses == 0 {
+		return 0
+	}
+	h := 1 - float64(r.Activates)/float64(accesses)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// BusUtilization is the fraction of data-bus cycles carrying data,
+// averaged over all channels.
+func (r *Result) BusUtilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.BusCycles) / float64(r.Cycles) / 4 // 4 channels in Table V
+}
+
+// IPC is retired instructions per memory-bus cycle across all cores.
+func (r *Result) IPC() float64 { return float64(r.Instructions) / float64(r.Cycles) }
+
+// AvgReadLatency is the mean demand-read latency in bus cycles.
+func (r *Result) AvgReadLatency() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.SumReadLatency) / float64(r.Reads)
+}
+
+// Simulator is the per-run state machine.
+type Simulator struct {
+	cfg      Config
+	channels []*channelState
+	cores    []*core
+	now      int64
+	rng      *simrand.Source
+
+	// completions maps cycle -> ROB entries whose data arrives then.
+	completions map[int64][]*robEntry
+	latencies   map[int64][]int64 // parallel: arrive cycles for latency stats
+
+	res Result
+
+	debug debugHook
+}
+
+// New builds a simulator. It panics on nonsensical configuration, which
+// only arises from programmer error.
+func New(cfg Config) *Simulator {
+	if cfg.Channels%cfg.Scheme.ChannelsPerAccess != 0 {
+		panic(fmt.Sprintf("memsim: %d channels not divisible by gang %d", cfg.Channels, cfg.Scheme.ChannelsPerAccess))
+	}
+	if cfg.RanksPerChannel%cfg.Scheme.RanksPerAccess != 0 {
+		panic(fmt.Sprintf("memsim: %d ranks not divisible by gang %d", cfg.RanksPerChannel, cfg.Scheme.RanksPerAccess))
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		rng:         simrand.New(cfg.Seed ^ 0xfeed),
+		completions: make(map[int64][]*robEntry),
+		latencies:   make(map[int64][]int64),
+	}
+	for c := 0; c < cfg.Channels; c++ {
+		ch := newChannel(cfg.RanksPerChannel, cfg.BanksPerRank)
+		ch.nextRefresh = int64(cfg.Timing.TREFI / cfg.RanksPerChannel)
+		s.channels = append(s.channels, ch)
+	}
+	geom := systemGeom{
+		channels: cfg.Channels / cfg.Scheme.ChannelsPerAccess,
+		ranks:    cfg.RanksPerChannel / cfg.Scheme.RanksPerAccess,
+		banks:    cfg.BanksPerRank,
+		rows:     cfg.RowsPerBank,
+		cols:     cfg.ColsPerRow,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		mlp := cfg.Workload.MLP
+		if mlp <= 0 {
+			mlp = 8
+		}
+		var src traceSource
+		if cfg.TraceOps != nil {
+			src = &fileTrace{
+				ops:         cfg.TraceOps,
+				pos:         (i * len(cfg.TraceOps)) / cfg.Cores,
+				mapper:      dram.NewMapper(cfg.Channels, cfg.RanksPerChannel, dram.Geometry{Banks: cfg.BanksPerRank, RowsPerBank: cfg.RowsPerBank, ColsPerRow: cfg.ColsPerRow}),
+				channelGang: cfg.Scheme.ChannelsPerAccess,
+				rankGang:    cfg.Scheme.RanksPerAccess,
+			}
+		} else {
+			src = newTraceGen(cfg.Workload, geom, cfg.Seed*1000003+uint64(i))
+		}
+		s.cores = append(s.cores, &core{
+			id:     i,
+			mlp:    mlp,
+			trace:  src,
+			target: cfg.InstrPerCore,
+		})
+	}
+	s.res.Workload = cfg.Workload.Name
+	s.res.Scheme = cfg.Scheme.Name
+	return s
+}
+
+// gangBase maps a trace's effective channel to the first physical channel
+// of its gang.
+func (s *Simulator) gangBase(effChannel int) int {
+	return effChannel * s.cfg.Scheme.ChannelsPerAccess
+}
+
+// enqueueRead registers a demand read (plus any scheme companion) and is
+// called from core.fetch.
+func (s *Simulator) enqueueRead(c *core, entry *robEntry, op *traceOp) {
+	base := s.gangBase(op.channel)
+	ch := s.channels[base]
+	r := &request{
+		kind: reqRead, channel: base, rank: op.rank, bank: op.bank,
+		row: op.row, col: op.col, core: c.id, robSlot: entry, arrive: s.now,
+	}
+	ch.readQ.push(r)
+	s.res.Reads++
+	if n := s.cfg.Scheme.SerialModeEvery; n > 0 && s.res.Reads%int64(n) == 0 {
+		// Serial-mode episode: quiesce, MRS-toggle, re-read, verify —
+		// two additional row-hit transfers on the same line.
+		for k := 0; k < 2; k++ {
+			comp := *r
+			comp.robSlot = nil
+			comp.core = -1
+			comp.companion = true
+			ch.readQ.push(&comp)
+			s.res.CompanionReads++
+		}
+	}
+	if s.cfg.Scheme.ExtraReadPerRead {
+		comp := *r
+		comp.robSlot = nil
+		comp.core = -1
+		comp.companion = true
+		comp.col = (op.col + 1) % s.cfg.ColsPerRow // ECC fetched from the same row
+		ch.readQ.push(&comp)
+		s.res.CompanionReads++
+	}
+}
+
+// enqueueWrite buffers a write; false means the queue is full and fetch
+// must stall (back-pressure, as in USIMM).
+func (s *Simulator) enqueueWrite(op *traceOp) bool {
+	base := s.gangBase(op.channel)
+	ch := s.channels[base]
+	if ch.writeQ.len() >= s.cfg.WriteQueueCap {
+		return false
+	}
+	w := &request{
+		kind: reqWrite, channel: base, rank: op.rank, bank: op.bank,
+		row: op.row, col: op.col, core: -1, arrive: s.now,
+	}
+	ch.writeQ.push(w)
+	s.res.Writes++
+	if s.cfg.Scheme.ExtraReadPerWrite {
+		// Read-modify-write: fetch the checksum line before updating.
+		rd := *w
+		rd.kind = reqRead
+		rd.companion = true
+		rd.col = (op.col + 11) % s.cfg.ColsPerRow
+		ch.readQ.push(&rd)
+		s.res.CompanionReads++
+	}
+	if p := s.cfg.Scheme.ExtraWritePerWrite; p > 0 && s.rng.Bernoulli(p) {
+		comp := *w
+		comp.companion = true
+		// LOT-ECC's tier-1 ECC shares the data row, so the coalesced
+		// update is a row hit at a different column: pure extra write
+		// bandwidth, which is what its §XII-A slowdown consists of.
+		comp.col = (op.col + 7) % s.cfg.ColsPerRow
+		ch.writeQ.push(&comp)
+		s.res.CompanionWrites++
+	}
+	return true
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Simulator) Run() Result {
+	maxCycles := s.cfg.InstrPerCore * 400 // generous watchdog
+	for {
+		s.now++
+		if s.now > maxCycles {
+			panic("memsim: watchdog expired; scheduler livelock?")
+		}
+		// 1. Data arrivals unblock ROB entries.
+		if entries, ok := s.completions[s.now]; ok {
+			arrivals := s.latencies[s.now]
+			for i, e := range entries {
+				e.ready = true
+				if e.owner != nil {
+					e.owner.outstanding--
+				}
+				s.res.SumReadLatency += s.now - arrivals[i]
+			}
+			delete(s.completions, s.now)
+			delete(s.latencies, s.now)
+		}
+		// 2. Controller work per channel.
+		for ci, ch := range s.channels {
+			if ci%s.cfg.Scheme.ChannelsPerAccess != 0 {
+				continue // ganged followers are driven by the base
+			}
+			s.maybeRefresh(ci)
+			s.maybeIssue(ci, ch)
+		}
+		// 3. Cores retire then fetch.
+		allDone := true
+		for _, c := range s.cores {
+			if c.done {
+				continue
+			}
+			c.retire()
+			if !c.done {
+				c.fetch(s)
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	s.res.Cycles = s.now
+	s.res.Instructions = s.cfg.InstrPerCore * int64(s.cfg.Cores)
+	for _, ch := range s.channels {
+		for r := range ch.ranks {
+			s.res.Activates += ch.ranks[r].activates
+			s.res.BusCycles += ch.ranks[r].readCycles + ch.ranks[r].writeCycles
+		}
+	}
+	s.res.Power = s.computePower()
+	return s.res
+}
+
+// maybeRefresh launches the staggered per-rank auto-refresh.
+func (s *Simulator) maybeRefresh(base int) {
+	if s.cfg.DisableRefresh {
+		return
+	}
+	ch := s.channels[base]
+	if s.now < ch.nextRefresh {
+		return
+	}
+	t := &s.cfg.Timing
+	for g := 0; g < s.cfg.Scheme.ChannelsPerAccess; g++ {
+		phys := s.channels[base+g]
+		rank := &phys.ranks[ch.refreshRank]
+		until := s.now + int64(t.TRFC)
+		rank.refreshUntil = until
+		rank.refreshes++
+		for b := range rank.banks {
+			bank := &rank.banks[b]
+			bank.openRow = -1
+			bank.reserved = false
+			bank.nextAct = max64(bank.nextAct, until)
+		}
+	}
+	ch.refreshRank = (ch.refreshRank + 1) % s.cfg.RanksPerChannel
+	ch.nextRefresh += int64(t.TREFI / s.cfg.RanksPerChannel)
+}
+
+// maybeIssue runs the two-phase FR-FCFS scheduler for one channel gang: a
+// column command (CAS + data transfer) for the oldest request whose row is
+// open and ready, and independently one row command (PRE+ACT) preparing
+// the oldest row-conflict request. Decoupling the phases keeps the data
+// bus from being reserved for far-future conflicts — the head-of-line
+// blocking a single-pointer model would suffer.
+func (s *Simulator) maybeIssue(base int, ch *channelState) {
+	// Write-drain watermark policy.
+	if ch.draining {
+		if ch.writeQ.len() <= s.cfg.DrainLo {
+			ch.draining = false
+		}
+	} else if ch.writeQ.len() >= s.cfg.DrainHi || (ch.readQ.len() == 0 && ch.writeQ.len() > 0) {
+		ch.draining = true
+	}
+	q, other := &ch.readQ, &ch.writeQ
+	if ch.draining {
+		q, other = &ch.writeQ, &ch.readQ
+	}
+
+	// Column phase: oldest request that could move data soon, bus
+	// backlog permitting. The non-selected queue gets a chance when the
+	// selected one has nothing ready — also the guarantee that a
+	// prepared request always drains its bank reservation eventually.
+	// A fixed backlog horizon (independent of the scheme's burst shape,
+	// so schemes differ only through real resource usage).
+	if ch.busFreeAt <= s.now+4*int64(s.cfg.Timing.TBurst) {
+		if !s.tryColumn(base, q) {
+			s.tryColumn(base, other)
+		}
+	}
+
+	// Row phase: prepare the oldest request whose row is closed or
+	// conflicting, unless its bank is reserved for an earlier victim.
+	rowLimit := q.len()
+	if s.cfg.StrictFCFS && rowLimit > 1 {
+		rowLimit = 1
+	}
+	for i := 0; i < rowLimit; i++ {
+		r := q.at(i)
+		if s.prepare(base, r) {
+			break
+		}
+	}
+}
+
+// tryColumn issues a CAS for the oldest data-ready request in q.
+func (s *Simulator) tryColumn(base int, q *queue) bool {
+	slack := s.now + int64(s.cfg.Timing.TCCD)
+	for i := 0; i < q.len(); i++ {
+		r := q.at(i)
+		ready, open := s.casReadyFor(base, r)
+		if open && ready <= slack {
+			q.removeAt(i)
+			if s.debug != nil {
+				s.debug("CAS", r, ready, s.channels[base].busFreeAt)
+			}
+			s.issueColumn(base, r, ready)
+			return true
+		}
+	}
+	return false
+}
+
+// casReadyFor reports whether r's row is open across its whole gang and,
+// if so, the earliest CAS cycle. No state is mutated.
+func (s *Simulator) casReadyFor(base int, r *request) (int64, bool) {
+	t := &s.cfg.Timing
+	sc := &s.cfg.Scheme
+	isWrite := r.kind == reqWrite
+	physRank0 := (r.rank * sc.RanksPerAccess) % s.cfg.RanksPerChannel
+	ready := s.now
+	for g := 0; g < sc.ChannelsPerAccess; g++ {
+		phys := s.channels[base+g]
+		for k := 0; k < sc.RanksPerAccess; k++ {
+			rank := &phys.ranks[physRank0+k]
+			bank := &rank.banks[r.bank]
+			if bank.openRow != r.row {
+				return 0, false
+			}
+			v := max64(bank.nextCAS, rank.refreshUntil)
+			if !isWrite {
+				v = max64(v, rank.lastWriteEnd+int64(t.TWTR))
+			}
+			if s.cfg.PowerDown {
+				after := s.cfg.PowerDownAfter
+				if after <= 0 {
+					after = 16
+				}
+				if s.now-rank.lastActive > after {
+					v = max64(v, s.now+int64(t.TXP))
+				}
+			}
+			ready = max64(ready, v)
+		}
+	}
+	return ready, true
+}
+
+// issueColumn schedules the CAS and data transfer for a request whose row
+// is open, and registers the read completion.
+func (s *Simulator) issueColumn(base int, r *request, casReady int64) {
+	t := &s.cfg.Timing
+	sc := &s.cfg.Scheme
+	isWrite := r.kind == reqWrite
+	physRank0 := (r.rank * sc.RanksPerAccess) % s.cfg.RanksPerChannel
+
+	burst := int64(sc.BurstCyclesPerRank)
+	busDur := burst*int64(sc.RanksPerAccess) + int64(t.TRTRS)*int64(sc.RanksPerAccess-1)
+	lat := int64(t.CL)
+	if isWrite {
+		lat = int64(t.CWL)
+	}
+	var dataEndMax int64
+	for g := 0; g < sc.ChannelsPerAccess; g++ {
+		phys := s.channels[base+g]
+		busAt := phys.busFreeAt
+		if phys.lastBusWrite != isWrite || phys.lastBusRank != physRank0 {
+			busAt += int64(t.TRTRS)
+		}
+		dataStart := max64(casReady+lat, busAt)
+		dataEnd := dataStart + busDur
+		phys.busFreeAt = dataEnd
+		phys.lastBusWrite = isWrite
+		phys.lastBusRank = physRank0
+		if dataEnd > dataEndMax {
+			dataEndMax = dataEnd
+		}
+		casT := dataStart - lat
+		for k := 0; k < sc.RanksPerAccess; k++ {
+			rank := &phys.ranks[physRank0+k]
+			bank := &rank.banks[r.bank]
+			if rank.lastActive < dataEnd {
+				rank.lastActive = dataEnd
+			}
+			bank.nextCAS = casT + int64(t.TCCD)
+			bank.reserved = false // the opened row has served its CAS
+			if isWrite {
+				bank.nextPre = max64(bank.nextPre, dataEnd+int64(t.TWR))
+				rank.lastWriteEnd = dataEnd
+				rank.writeCycles += burst
+			} else {
+				bank.nextPre = max64(bank.nextPre, casT+int64(t.TRTP))
+				rank.readCycles += burst
+			}
+			if s.cfg.ClosePage {
+				// Auto-precharge: the row closes as soon as the
+				// precharge constraint allows.
+				bank.openRow = -1
+				bank.nextAct = max64(bank.nextAct, bank.nextPre+int64(t.TRP))
+			}
+		}
+	}
+
+	if !isWrite && r.robSlot != nil {
+		// Controller-side decode latency, converted from 3.2GHz core
+		// cycles to 800MHz bus cycles (ceil).
+		decode := int64((sc.CorrectionCycles + 3) / 4)
+		done := dataEndMax + decode
+		s.completions[done] = append(s.completions[done], r.robSlot)
+		s.latencies[done] = append(s.latencies[done], r.arrive)
+	}
+}
+
+// wakeRank applies power-down bookkeeping at the start of new activity on
+// a rank and returns the wake penalty (tXP) if the rank had powered down.
+func (s *Simulator) wakeRank(rank *rankState) int64 {
+	if !s.cfg.PowerDown {
+		return 0
+	}
+	after := s.cfg.PowerDownAfter
+	if after <= 0 {
+		after = 16
+	}
+	gap := s.now - rank.lastActive
+	if gap > after {
+		rank.pdCycles += gap - after
+		return int64(s.cfg.Timing.TXP)
+	}
+	return 0
+}
+
+// prepare opens r's row across its gang (PRE if needed, then ACT), unless
+// a bank involved is already open on the right row, still reserved for an
+// earlier conflict victim, or not yet ready to activate. Reports whether
+// row commands were issued.
+func (s *Simulator) prepare(base int, r *request) bool {
+	t := &s.cfg.Timing
+	sc := &s.cfg.Scheme
+	physRank0 := (r.rank * sc.RanksPerAccess) % s.cfg.RanksPerChannel
+
+	// Feasibility pass: every ganged bank must be preparable now.
+	for g := 0; g < sc.ChannelsPerAccess; g++ {
+		phys := s.channels[base+g]
+		for k := 0; k < sc.RanksPerAccess; k++ {
+			rank := &phys.ranks[physRank0+k]
+			bank := &rank.banks[r.bank]
+			if bank.openRow == r.row {
+				return false // already open: column phase will serve it
+			}
+			if bank.reserved {
+				return false // an earlier victim owns this bank
+			}
+			if s.now < rank.refreshUntil {
+				return false
+			}
+			actFloor := max64(bank.nextAct,
+				max64(rank.fawReady(t.TFAW), rank.lastAct+int64(t.TRRD)))
+			if bank.openRow != -1 {
+				actFloor = max64(actFloor, max64(bank.nextPre, s.now)+int64(t.TRP))
+			}
+			if actFloor > s.now+int64(t.TRP)+int64(t.TRRD) {
+				return false // bank busy; try a younger request
+			}
+		}
+	}
+	if s.debug != nil {
+		s.debug("ACT", r, 0, 0)
+	}
+	// Commit pass.
+	for g := 0; g < sc.ChannelsPerAccess; g++ {
+		phys := s.channels[base+g]
+		for k := 0; k < sc.RanksPerAccess; k++ {
+			rank := &phys.ranks[physRank0+k]
+			bank := &rank.banks[r.bank]
+			wake := s.wakeRank(rank)
+			actAt := max64(s.now+wake, bank.nextAct)
+			if bank.openRow != -1 {
+				actAt = max64(actAt, max64(bank.nextPre, s.now)+int64(t.TRP))
+			}
+			actAt = max64(actAt, rank.fawReady(t.TFAW))
+			actAt = max64(actAt, rank.lastAct+int64(t.TRRD))
+			rank.recordAct(actAt, t.TRAS)
+			if rank.lastActive < actAt+int64(t.TRCD) {
+				rank.lastActive = actAt + int64(t.TRCD)
+			}
+			bank.openRow = r.row
+			bank.reserved = true
+			bank.nextAct = actAt + int64(t.TRC)
+			bank.nextPre = actAt + int64(t.TRAS)
+			bank.nextCAS = actAt + int64(t.TRCD)
+		}
+	}
+	return true
+}
+
+// debugHook is a development trace point; see probe_test.go.
+type debugHook func(kind string, r *request, a, b int64)

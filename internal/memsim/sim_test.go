@@ -1,0 +1,287 @@
+package memsim
+
+import (
+	"testing"
+)
+
+func quickCfg(w Workload, s SchemeConfig) Config {
+	cfg := DefaultConfig(w, s)
+	cfg.InstrPerCore = 40_000
+	return cfg
+}
+
+func mustWorkload(t testing.TB, name string) Workload {
+	t.Helper()
+	w, ok := WorkloadByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	return w
+}
+
+func TestSimulatorCompletesAndCountsWork(t *testing.T) {
+	w := mustWorkload(t, "libquantum")
+	res := New(quickCfg(w, SECDEDScheme())).Run()
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if res.Instructions != 40_000*8 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	// libquantum at 25 read-MPKI: expect roughly 25 reads per 1000
+	// instructions across the run.
+	wantReads := float64(res.Instructions) * w.ReadMPKI / 1000
+	if f := float64(res.Reads); f < wantReads*0.7 || f > wantReads*1.3 {
+		t.Fatalf("reads = %d, want ≈%v", res.Reads, wantReads)
+	}
+	if res.Writes == 0 {
+		t.Fatal("no writes simulated")
+	}
+	if res.AvgReadLatency() < float64(DDR31600().CL+DDR31600().TBurst) {
+		t.Fatalf("average read latency %v below the physical floor", res.AvgReadLatency())
+	}
+	if res.Power.Total() <= 0 {
+		t.Fatal("no power accounted")
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	w := mustWorkload(t, "mcf")
+	a := New(quickCfg(w, ChipkillScheme())).Run()
+	b := New(quickCfg(w, ChipkillScheme())).Run()
+	if a.Cycles != b.Cycles || a.Reads != b.Reads || a.Power.Total() != b.Power.Total() {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestXEDMatchesSECDEDPerformance(t *testing.T) {
+	// §XI-A: "XED activates only a single rank and consumes no
+	// performance overheads" — its common-case resource footprint is
+	// identical to SECDED's.
+	w := mustWorkload(t, "milc")
+	secded := New(quickCfg(w, SECDEDScheme())).Run()
+	xed := New(quickCfg(w, XEDScheme())).Run()
+	if secded.Cycles != xed.Cycles {
+		t.Fatalf("XED (%d cycles) differs from SECDED (%d)", xed.Cycles, secded.Cycles)
+	}
+}
+
+func TestChipkillSlowerThanXED(t *testing.T) {
+	// Rank ganging + overfetch must cost time on a bandwidth-hungry
+	// workload (Figure 11's mechanism).
+	w := mustWorkload(t, "libquantum")
+	xed := New(quickCfg(w, XEDScheme())).Run()
+	ck := New(quickCfg(w, ChipkillScheme())).Run()
+	if ck.Cycles <= xed.Cycles {
+		t.Fatalf("Chipkill (%d) should be slower than XED (%d)", ck.Cycles, xed.Cycles)
+	}
+	slowdown := float64(ck.Cycles) / float64(xed.Cycles)
+	if slowdown < 1.1 || slowdown > 2.5 {
+		t.Fatalf("Chipkill slowdown %v outside plausible band", slowdown)
+	}
+}
+
+func TestDoubleChipkillSlowerThanChipkill(t *testing.T) {
+	w := mustWorkload(t, "libquantum")
+	ck := New(quickCfg(w, ChipkillScheme())).Run()
+	dck := New(quickCfg(w, DoubleChipkillScheme())).Run()
+	if dck.Cycles <= ck.Cycles {
+		t.Fatalf("Double-Chipkill (%d) should be slower than Chipkill (%d)", dck.Cycles, ck.Cycles)
+	}
+}
+
+func TestSchemeOrderingOnBandwidthBoundWorkload(t *testing.T) {
+	// Figure 13's ordering: XED < extra-burst < extra-transaction
+	// (bandwidth taxes of 0%, 25%, ~100% on reads respectively);
+	// plain Chipkill sits near the extra-transaction cost.
+	w := mustWorkload(t, "bwaves")
+	xed := New(quickCfg(w, XEDScheme())).Run().Cycles
+	eb := New(quickCfg(w, ExtraBurstChipkill())).Run().Cycles
+	et := New(quickCfg(w, ExtraTransactionChipkill())).Run().Cycles
+	if !(xed < eb && eb < et) {
+		t.Fatalf("ordering violated: XED=%d extraburst=%d extratxn=%d", xed, eb, et)
+	}
+}
+
+func TestLOTECCSlowerThanXED(t *testing.T) {
+	// Figure 14: LOT-ECC's checksum-update writes cost a few percent.
+	w := mustWorkload(t, "lbm") // write-heavy
+	xed := New(quickCfg(w, XEDScheme())).Run()
+	lot := New(quickCfg(w, LOTECCScheme())).Run()
+	if lot.Cycles <= xed.Cycles {
+		t.Fatalf("LOT-ECC (%d) should be slower than XED (%d)", lot.Cycles, xed.Cycles)
+	}
+	if lot.CompanionWrites == 0 {
+		t.Fatal("LOT-ECC generated no checksum writes")
+	}
+	slowdown := float64(lot.Cycles) / float64(xed.Cycles)
+	if slowdown > 1.35 {
+		t.Fatalf("LOT-ECC slowdown %v implausibly large", slowdown)
+	}
+}
+
+func TestExtraTransactionGeneratesCompanions(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	res := New(quickCfg(w, ExtraTransactionChipkill())).Run()
+	if res.CompanionReads != res.Reads {
+		t.Fatalf("companion reads %d != demand reads %d", res.CompanionReads, res.Reads)
+	}
+}
+
+func TestPowerOrdering(t *testing.T) {
+	// Figure 12's robust claim: XED consumes exactly the baseline's
+	// power — its common-case resource footprint is the SECDED DIMM's.
+	// The ganged schemes pay for extra activates and overfetch
+	// transfers; our model keeps both Chipkill variants within a
+	// moderate band above baseline (the paper reports Chipkill slightly
+	// *below* baseline because its USIMM configuration did not charge
+	// the overfetched transfer; EXPERIMENTS.md discusses this).
+	w := mustWorkload(t, "libquantum")
+	base := New(quickCfg(w, SECDEDScheme())).Run()
+	xed := New(quickCfg(w, XEDScheme())).Run()
+	ck := New(quickCfg(w, ChipkillScheme())).Run()
+	dck := New(quickCfg(w, DoubleChipkillScheme())).Run()
+	if xed.Power.Total() != base.Power.Total() {
+		t.Fatalf("XED power %v != SECDED power %v", xed.Power.Total(), base.Power.Total())
+	}
+	for name, r := range map[string]float64{
+		"Chipkill":        ck.Power.Total() / base.Power.Total(),
+		"Double-Chipkill": dck.Power.Total() / base.Power.Total(),
+	} {
+		if r < 0.85 || r > 1.7 {
+			t.Fatalf("%s power ratio %v outside plausible band", name, r)
+		}
+	}
+	for _, res := range []Result{base, ck, dck} {
+		if res.Power.Background <= 0 || res.Power.Activate <= 0 ||
+			res.Power.ReadWrite <= 0 || res.Power.Refresh <= 0 {
+			t.Fatalf("power component missing: %+v", res.Power)
+		}
+	}
+}
+
+func TestGangValidation(t *testing.T) {
+	w := mustWorkload(t, "gcc")
+	cfg := quickCfg(w, DoubleChipkillScheme())
+	cfg.Channels = 3 // not divisible by the 2-channel gang
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(cfg)
+}
+
+func TestQueueOps(t *testing.T) {
+	var q queue
+	a := &request{row: 1}
+	b := &request{row: 2}
+	c := &request{row: 3}
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if q.len() != 3 || q.at(1) != b {
+		t.Fatal("queue push/at broken")
+	}
+	if got := q.removeAt(1); got != b {
+		t.Fatal("removeAt returned wrong item")
+	}
+	if q.len() != 2 || q.at(0) != a || q.at(1) != c {
+		t.Fatal("removeAt left queue inconsistent")
+	}
+}
+
+func TestTraceGenRates(t *testing.T) {
+	w := Workload{Name: "synthetic", ReadMPKI: 20, WritePKI: 10, RowBufferLocality: 0.8}
+	geom := systemGeom{channels: 4, ranks: 2, banks: 8, rows: 1024, cols: 128}
+	tg := newTraceGen(w, geom, 5)
+	var instr, reads, writes, hits, total int
+	lastRow := -1
+	lastBank := -1
+	for i := 0; i < 50_000; i++ {
+		gap, op := tg.next()
+		instr += gap + 1
+		if op.isWrite {
+			writes++
+		} else {
+			reads++
+		}
+		if op.row == lastRow && op.bank == lastBank {
+			hits++
+		}
+		lastRow, lastBank = op.row, op.bank
+		total++
+	}
+	gotMPKI := float64(reads) / float64(instr) * 1000
+	if gotMPKI < 15 || gotMPKI > 25 {
+		t.Fatalf("read MPKI = %v, want ≈20", gotMPKI)
+	}
+	gotWPKI := float64(writes) / float64(instr) * 1000
+	if gotWPKI < 7 || gotWPKI > 13 {
+		t.Fatalf("write PKI = %v, want ≈10", gotWPKI)
+	}
+	if frac := float64(hits) / float64(total); frac < 0.7 || frac > 0.9 {
+		t.Fatalf("row locality = %v, want ≈0.8", frac)
+	}
+}
+
+func TestPaperWorkloadsWellFormed(t *testing.T) {
+	ws := PaperWorkloads()
+	if len(ws) < 26 {
+		t.Fatalf("only %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.ReadMPKI <= 0 || w.RowBufferLocality <= 0 || w.RowBufferLocality >= 1 {
+			t.Fatalf("workload %s has bad parameters", w.Name)
+		}
+	}
+	for _, suite := range SuiteNames() {
+		found := false
+		for _, w := range ws {
+			if w.Suite == suite {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("suite %s empty", suite)
+		}
+	}
+}
+
+func TestRunComparisonNormalisation(t *testing.T) {
+	ws := []Workload{mustWorkload(t, "libquantum"), mustWorkload(t, "gcc")}
+	schemes := []SchemeConfig{SECDEDScheme(), XEDScheme(), ChipkillScheme()}
+	cmp := RunComparison(ws, schemes, 25_000, 3, 0)
+	for w := range ws {
+		if got := cmp.NormalizedTime(w, 0); got != 1 {
+			t.Fatalf("baseline normalised time = %v", got)
+		}
+		if got := cmp.NormalizedTime(w, 1); got != 1 {
+			t.Fatalf("XED normalised time = %v, want 1", got)
+		}
+		if got := cmp.NormalizedTime(w, 2); got <= 1 {
+			t.Fatalf("Chipkill normalised time = %v, want > 1", got)
+		}
+	}
+	if g := cmp.GmeanTime(2); g <= 1 || g > 2.5 {
+		t.Fatalf("Chipkill gmean slowdown %v", g)
+	}
+	if g := cmp.SuiteGmeanTime(2, "SPEC2006"); g <= 1 {
+		t.Fatalf("suite gmean %v", g)
+	}
+}
+
+func BenchmarkSimulatorSECDED(b *testing.B) {
+	w, _ := WorkloadByName("libquantum")
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(w, SECDEDScheme())
+		cfg.InstrPerCore = 20_000
+		New(cfg).Run()
+	}
+}

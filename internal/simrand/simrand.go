@@ -1,0 +1,229 @@
+// Package simrand provides a small, fast, deterministic random number
+// generator for the simulators in this module.
+//
+// Reliability results must be reproducible run-to-run (the experiment
+// harness reports exact numbers into EXPERIMENTS.md), and the Monte-Carlo
+// fault simulator draws billions of variates, so we use xoshiro256** seeded
+// via splitmix64 rather than math/rand's global, locked source. Each
+// goroutine owns its own *Source; the type is deliberately not safe for
+// concurrent use.
+package simrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256** pseudo-random generator. The zero value is not a
+// valid generator; use New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded deterministically from seed. Distinct seeds
+// yield statistically independent streams (seeded through splitmix64, the
+// construction recommended by the xoshiro authors).
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	src.s0, src.s1, src.s2, src.s3 = next(), next(), next(), next()
+	// xoshiro must not start from the all-zero state; splitmix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if src.s0|src.s1|src.s2|src.s3 == 0 {
+		src.s0 = 1
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Jump advances the generator 2^128 steps, equivalent to 2^128 calls to
+// Uint64. It is used to derive non-overlapping streams for worker
+// goroutines that must share one logical seed.
+func (s *Source) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var t0, t1, t2, t3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				t0 ^= s.s0
+				t1 ^= s.s1
+				t2 ^= s.s2
+				t3 ^= s.s3
+			}
+			s.Uint64()
+		}
+	}
+	s.s0, s.s1, s.s2, s.s3 = t0, t1, t2, t3
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("simrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return s.Uint64() & (n - 1)
+	}
+	threshold := -n % n
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1
+// (mean 1), via inversion. Scale by 1/rate for other rates.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Poisson returns a Poisson-distributed variate with the given mean.
+// It uses Knuth multiplication for small means and the PTRS transformed
+// rejection method for large means; both are exact.
+func (s *Source) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		// Knuth: multiply uniforms until the product drops below e^-mean.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		return s.poissonPTRS(mean)
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS rejection sampler (1993), valid for
+// mean >= 10; we use it above 30 where it is unambiguously faster.
+func (s *Source) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mean)-mean-lg {
+			return int(k)
+		}
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Binomial returns a Binomial(n, p) variate. For small n it flips n coins;
+// for large n with small mean it samples via waiting times (geometric
+// skipping), which is O(np) instead of O(n).
+func (s *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n < 32 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if s.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Geometric skipping: the gap between successes is geometric.
+	logq := math.Log1p(-p)
+	k := 0
+	i := 0
+	for {
+		u := s.Float64()
+		if u <= 0 {
+			continue
+		}
+		i += int(math.Log(u)/logq) + 1
+		if i > n {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm fills out with a uniformly random permutation of 0..len(out)-1.
+func (s *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

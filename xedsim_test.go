@@ -1,0 +1,114 @@
+package xedsim
+
+import (
+	"testing"
+
+	"xedsim/internal/core"
+	"xedsim/internal/dram"
+)
+
+func smallGeom() dram.Geometry { return dram.Geometry{Banks: 2, RowsPerBank: 16, ColsPerRow: 128} }
+
+func TestFacadeRoundTrip(t *testing.T) {
+	sys := NewSystem(Config{Geometry: smallGeom(), Seed: 1})
+	addr := dram.WordAddr{Bank: 0, Row: 3, Col: 5}
+	line := core.Line{1, 2, 3, 4, 5, 6, 7, 8}
+	sys.Write(addr, line)
+	res := sys.Read(addr)
+	if res.Outcome != core.OutcomeClean || res.Data != line {
+		t.Fatalf("round trip failed: %+v", res)
+	}
+}
+
+func TestFacadeSurvivesChipFailure(t *testing.T) {
+	sys := NewSystem(Config{Geometry: smallGeom(), Seed: 2})
+	addr := dram.WordAddr{Bank: 1, Row: 1, Col: 1}
+	line := core.Line{9, 8, 7, 6, 5, 4, 3, 2}
+	sys.Write(addr, line)
+	sys.InjectFault(4, dram.NewChipFault(false, 11))
+	res := sys.Read(addr)
+	if res.Data != line {
+		t.Fatalf("chip failure not corrected: %+v", res)
+	}
+	if res.Outcome != core.OutcomeCorrectedErasure {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if sys.Stats().ErasureCorrections == 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestFacadeWithScalingFaults(t *testing.T) {
+	// An exaggerated scaling rate so the small geometry contains weak
+	// cells; XED must still return correct data for every line.
+	sys := NewSystem(Config{Geometry: smallGeom(), Seed: 3, ScalingFaultRate: 0.01})
+	for row := 0; row < 16; row++ {
+		addr := dram.WordAddr{Bank: 0, Row: row, Col: row * 7 % 128}
+		line := core.Line{uint64(row), 1, 2, 3, 4, 5, 6, 7}
+		sys.Write(addr, line)
+		if res := sys.Read(addr); res.Data != line {
+			t.Fatalf("row %d: scaling fault corrupted data (outcome %v)", row, res.Outcome)
+		}
+	}
+}
+
+func TestFacadeHammingOption(t *testing.T) {
+	sys := NewSystem(Config{Geometry: smallGeom(), OnDie: Hamming, Seed: 4})
+	addr := dram.WordAddr{Bank: 0, Row: 0, Col: 0}
+	line := core.Line{0xaa, 0xbb, 0, 0, 0, 0, 0, 0}
+	sys.Write(addr, line)
+	sys.InjectFault(0, dram.NewBitFault(addr, 7, false))
+	res := sys.Read(addr)
+	if res.Data != line {
+		t.Fatalf("Hamming on-die system failed: %+v", res)
+	}
+}
+
+func TestFacadeReliabilityCampaign(t *testing.T) {
+	cfg := DefaultReliabilityConfig()
+	rep, err := RunReliability(cfg, 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("expected 6 schemes, got %d", len(rep.Results))
+	}
+	xed := rep.ResultFor("XED")
+	secded := rep.ResultFor("ECC-DIMM (SECDED)")
+	if xed == nil || secded == nil {
+		t.Fatal("missing scheme results")
+	}
+	if xed.Probability() >= secded.Probability() {
+		t.Fatalf("XED (%v) should beat SECDED (%v)", xed.Probability(), secded.Probability())
+	}
+}
+
+func TestFacadePerformanceComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level sweep")
+	}
+	cmp := RunPerformance(Figure11Schemes()[:3], 20_000, 5)
+	if len(cmp.Workloads) < 26 {
+		t.Fatalf("workload list truncated: %d", len(cmp.Workloads))
+	}
+	if g := cmp.GmeanTime(1); g != 1 {
+		t.Fatalf("XED gmean %v, want exactly baseline", g)
+	}
+	if g := cmp.GmeanTime(2); g <= 1 {
+		t.Fatalf("Chipkill gmean %v, want > 1", g)
+	}
+}
+
+func TestFacadeFleet(t *testing.T) {
+	fleet := NewFleet(FleetConfig{Geometry: smallGeom(), Seed: 44})
+	line := core.Line{5, 4, 3, 2, 1, 0, 9, 8}
+	fleet.Write(0x4040, line)
+	fleet.InjectChipFailure(0, 0, 7, dram.NewChipFault(false, 5))
+	res := fleet.Read(0x4040)
+	if res.Data != line {
+		t.Fatalf("fleet read wrong: %+v", res)
+	}
+	if fleet.Capacity() == 0 {
+		t.Fatal("zero capacity")
+	}
+}
