@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench race fuzz experiments clean
+.PHONY: all build test vet bench bench-save benchstat race fuzz ci experiments clean
 
 all: build vet test
 
@@ -19,8 +19,40 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 
+# Benchmark-regression workflow: `make bench-save` snapshots the current
+# tree's numbers (bench.old on the first run, bench.new afterwards), then
+# `make benchstat` compares them. benchstat is optional — when the tool is
+# not on PATH the comparison prints both files for eyeballing instead.
+BENCH_PKGS ?= ./...
+BENCH_PATTERN ?= .
+BENCH_COUNT ?= 6
+
+bench-save:
+	@if [ -f bench.old ]; then out=bench.new; else out=bench.old; fi; \
+	echo "saving $$out"; \
+	go test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee $$out
+
+benchstat:
+	@if [ ! -f bench.old ] || [ ! -f bench.new ]; then \
+		echo "need bench.old and bench.new (run 'make bench-save' on each tree)"; exit 1; \
+	fi; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.old bench.new; \
+	else \
+		echo "benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+		echo "--- bench.old ---"; grep '^Benchmark' bench.old; \
+		echo "--- bench.new ---"; grep '^Benchmark' bench.new; \
+	fi
+
 fuzz:
 	go test -fuzz=FuzzCode64CRC8 -fuzztime=30s ./internal/ecc/
+
+# Everything CI runs (see .github/workflows/ci.yml), runnable locally.
+ci:
+	go vet ./...
+	go build ./...
+	go test -race ./...
+	go test -run='^$$' -bench=TableI -benchtime=1x ./...
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:
@@ -30,3 +62,4 @@ experiments:
 
 clean:
 	go clean ./...
+	rm -f bench.old bench.new

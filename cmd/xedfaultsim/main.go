@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"xedsim/internal/faultsim"
+	"xedsim/internal/profiling"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 	scrub := flag.Float64("scrub-hours", 0, "override patrol-scrub interval (hours)")
 	overlap := flag.Bool("address-overlap", false, "require address-range intersection for compound failures (precise FaultSim criterion)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
+		os.Exit(1)
+	}
 	run := func(name string) {
 		if err := runExperiment(name, *systems, *seed, *scrub, *overlap, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
@@ -47,6 +53,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "xedfaultsim: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"xedsim/internal/memsim"
+	"xedsim/internal/profiling"
 )
 
 func main() {
@@ -26,8 +27,13 @@ func main() {
 	instr := flag.Int64("instr", 150_000, "instructions per core")
 	seed := flag.Uint64("seed", 7, "random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "xedmemsim: %v\n", err)
+		os.Exit(1)
+	}
 	switch *experiment {
 	case "all":
 		fig1112(*instr, *seed, *workers)
@@ -44,6 +50,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "xedmemsim: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "xedmemsim: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -23,6 +23,8 @@ type ECCDIMMController struct {
 	rank  *dram.Rank
 	code  ecc.Code64
 	stats Stats
+
+	readBuf []dram.ReadResult // read-path scratch
 }
 
 // NewECCDIMMController wraps a 9-chip rank. The chips keep XED disabled;
@@ -77,7 +79,8 @@ func scatterBeat(v uint64, b int, out *Line) {
 // data against ground truth to expose the silent case.
 func (c *ECCDIMMController) ReadLine(a dram.WordAddr) (Line, Outcome) {
 	c.stats.Reads++
-	res := c.rank.ReadLine(a)
+	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
+	res := c.readBuf
 	var line Line
 	checks := res[DataChips].Data
 	var rawLine Line
@@ -115,7 +118,13 @@ func (c *ECCDIMMController) ReadLine(a dram.WordAddr) (Line, Outcome) {
 type ChipkillController struct {
 	rank  *dram.Rank
 	rs    *ecc.RS
+	dec   *ecc.RSDecoder
 	stats Stats
+
+	// Scratch: one lane buffer shared by encode (data prefix, checks
+	// appended in place) and in-place decode, plus the rank read buffer.
+	lane    [ChipkillChips]uint8
+	readBuf []dram.ReadResult
 }
 
 // NewChipkillController wraps an 18-chip rank with XED disabled.
@@ -124,7 +133,8 @@ func NewChipkillController(rank *dram.Rank) *ChipkillController {
 		panic(fmt.Sprintf("core: Chipkill needs 18 chips, got %d", rank.Chips()))
 	}
 	rank.SetXEDEnable(false)
-	return &ChipkillController{rank: rank, rs: ecc.NewChipkill()}
+	rs := ecc.NewChipkill()
+	return &ChipkillController{rank: rank, rs: rs, dec: rs.NewDecoder()}
 }
 
 // Rank exposes the underlying rank.
@@ -138,12 +148,11 @@ func (c *ChipkillController) WriteBlock(a dram.WordAddr, data Block) {
 	c.stats.Writes++
 	var beats [ChipkillChips]uint64
 	copy(beats[:ChipkillDataChips], data[:])
-	lane := make([]uint8, ChipkillDataChips)
 	for b := 0; b < 8; b++ {
 		for i := 0; i < ChipkillDataChips; i++ {
-			lane[i] = uint8(data[i] >> uint(8*b))
+			c.lane[i] = uint8(data[i] >> uint(8*b))
 		}
-		cw := c.rs.Encode(lane)
+		cw := c.rs.EncodeInto(c.lane[:ChipkillDataChips], c.lane[:])
 		beats[16] |= uint64(cw[16]) << uint(8*b)
 		beats[17] |= uint64(cw[17]) << uint(8*b)
 	}
@@ -154,20 +163,18 @@ func (c *ChipkillController) WriteBlock(a dram.WordAddr, data Block) {
 // are (at best) detected.
 func (c *ChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
 	c.stats.Reads++
-	res := c.rank.ReadLine(a)
+	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
 	var words [ChipkillChips]uint64
 	for i := range words {
-		words[i] = res[i].Data
+		words[i] = c.readBuf[i].Data
 	}
 	var out Block
-	lane := make([]uint8, ChipkillChips)
 	outcome := OutcomeClean
 	for b := 0; b < 8; b++ {
 		for i := 0; i < ChipkillChips; i++ {
-			lane[i] = uint8(words[i] >> uint(8*b))
+			c.lane[i] = uint8(words[i] >> uint(8*b))
 		}
-		fixed, st := c.rs.Decode(lane)
-		switch st {
+		switch c.dec.Decode(c.lane[:]) {
 		case ecc.StatusCorrected:
 			if outcome == OutcomeClean {
 				outcome = OutcomeCorrectedErasure
@@ -176,7 +183,7 @@ func (c *ChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
 			outcome = OutcomeDUE
 		}
 		for i := 0; i < ChipkillDataChips; i++ {
-			out[i] |= uint64(fixed[i]) << uint(8*b)
+			out[i] |= uint64(c.lane[i]) << uint(8*b)
 		}
 	}
 	switch outcome {
@@ -204,7 +211,11 @@ type WideBlock = [DoubleChipkillDataChips]uint64
 type DoubleChipkillController struct {
 	rank  *dram.Rank
 	rs    *ecc.RS
+	dec   *ecc.RSDecoder
 	stats Stats
+
+	lane    [DoubleChipkillChips]uint8
+	readBuf []dram.ReadResult
 }
 
 // NewDoubleChipkillController wraps a 36-chip gang with XED disabled.
@@ -213,7 +224,8 @@ func NewDoubleChipkillController(rank *dram.Rank) *DoubleChipkillController {
 		panic(fmt.Sprintf("core: Double-Chipkill needs 36 chips, got %d", rank.Chips()))
 	}
 	rank.SetXEDEnable(false)
-	return &DoubleChipkillController{rank: rank, rs: ecc.NewDoubleChipkill()}
+	rs := ecc.NewDoubleChipkill()
+	return &DoubleChipkillController{rank: rank, rs: rs, dec: rs.NewDecoder()}
 }
 
 // Rank exposes the underlying rank.
@@ -227,12 +239,11 @@ func (c *DoubleChipkillController) WriteBlock(a dram.WordAddr, data WideBlock) {
 	c.stats.Writes++
 	var beats [DoubleChipkillChips]uint64
 	copy(beats[:DoubleChipkillDataChips], data[:])
-	lane := make([]uint8, DoubleChipkillDataChips)
 	for b := 0; b < 8; b++ {
 		for i := 0; i < DoubleChipkillDataChips; i++ {
-			lane[i] = uint8(data[i] >> uint(8*b))
+			c.lane[i] = uint8(data[i] >> uint(8*b))
 		}
-		cw := c.rs.Encode(lane)
+		cw := c.rs.EncodeInto(c.lane[:DoubleChipkillDataChips], c.lane[:])
 		for j := 0; j < 4; j++ {
 			beats[32+j] |= uint64(cw[32+j]) << uint(8*b)
 		}
@@ -243,20 +254,18 @@ func (c *DoubleChipkillController) WriteBlock(a dram.WordAddr, data WideBlock) {
 // ReadBlock corrects up to two bad chips per lane.
 func (c *DoubleChipkillController) ReadBlock(a dram.WordAddr) (WideBlock, Outcome) {
 	c.stats.Reads++
-	res := c.rank.ReadLine(a)
+	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
 	var words [DoubleChipkillChips]uint64
 	for i := range words {
-		words[i] = res[i].Data
+		words[i] = c.readBuf[i].Data
 	}
 	var out WideBlock
-	lane := make([]uint8, DoubleChipkillChips)
 	outcome := OutcomeClean
 	for b := 0; b < 8; b++ {
 		for i := 0; i < DoubleChipkillChips; i++ {
-			lane[i] = uint8(words[i] >> uint(8*b))
+			c.lane[i] = uint8(words[i] >> uint(8*b))
 		}
-		fixed, st := c.rs.Decode(lane)
-		switch st {
+		switch c.dec.Decode(c.lane[:]) {
 		case ecc.StatusCorrected:
 			if outcome == OutcomeClean {
 				outcome = OutcomeCorrectedErasure
@@ -265,7 +274,7 @@ func (c *DoubleChipkillController) ReadBlock(a dram.WordAddr) (WideBlock, Outcom
 			outcome = OutcomeDUE
 		}
 		for i := 0; i < DoubleChipkillDataChips; i++ {
-			out[i] |= uint64(fixed[i]) << uint(8*b)
+			out[i] |= uint64(c.lane[i]) << uint(8*b)
 		}
 	}
 	switch outcome {

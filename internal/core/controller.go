@@ -36,6 +36,11 @@ type Controller struct {
 
 	// events is the bounded RAS log (see events.go).
 	events *eventLog
+
+	// Read-path scratch, reused across calls so steady-state reads do not
+	// allocate. ReadResult.FaultyChips aliases these buffers.
+	readBuf    []dram.ReadResult
+	flaggedBuf [DataChips + 1]int
 }
 
 // Option customises a Controller.
@@ -103,10 +108,11 @@ func (c *Controller) WriteLine(a dram.WordAddr, data Line) {
 // §V-§VII. The returned data is best-effort even for OutcomeDUE.
 func (c *Controller) ReadLine(a dram.WordAddr) ReadResult {
 	c.stats.Reads++
-	raw := c.rank.ReadLine(a)
+	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
+	raw := c.readBuf
 
 	var words [DataChips + 1]uint64
-	var flagged []int
+	flagged := c.flaggedBuf[:0]
 	for i := range words {
 		words[i] = raw[i].Data
 		if words[i] == c.catchWords[i] {
@@ -142,7 +148,7 @@ func (c *Controller) ReadLine(a dram.WordAddr) ReadResult {
 // the Table IV SDC row; the invariant tests pin that silent corruption
 // can only ever originate from such an on-die miss.
 func (c *Controller) correctSingleErasure(a dram.WordAddr, words [DataChips + 1]uint64, k int) ReadResult {
-	res := ReadResult{Outcome: OutcomeCorrectedErasure, FaultyChips: []int{k}}
+	res := ReadResult{Outcome: OutcomeCorrectedErasure, FaultyChips: c.faultyOne(k)}
 	c.events.append(EventErasureCorrection, a, k)
 	if k == parityChip {
 		// The parity chip erred; the data beats are intact.
@@ -176,7 +182,8 @@ func (c *Controller) correctSingleErasure(a dram.WordAddr, words [DataChips + 1]
 // controller never sees per-chip decode status — only bus data and parity.
 func (c *Controller) serialModeCorrect(a dram.WordAddr, _ [DataChips + 1]uint64, flagged []int) ReadResult {
 	c.rank.MRSBroadcast(dram.MRXEDEnable, 0)
-	raw := c.rank.ReadLine(a)
+	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
+	raw := c.readBuf
 	c.rank.MRSBroadcast(dram.MRXEDEnable, 1)
 
 	var words [DataChips + 1]uint64
@@ -191,6 +198,13 @@ func (c *Controller) serialModeCorrect(a dram.WordAddr, _ [DataChips + 1]uint64,
 	// A chip beyond on-die repair is hiding among the catch-words:
 	// identify it with §VI diagnosis and rebuild from parity (§VII-C).
 	return c.diagnoseAndCorrect(a, words[:])
+}
+
+// faultyOne returns a single-chip FaultyChips slice backed by controller
+// scratch — valid until the next operation on this controller.
+func (c *Controller) faultyOne(k int) []int {
+	c.flaggedBuf[0] = k
+	return c.flaggedBuf[:1]
 }
 
 // regenerateCatchWord assigns chip k a fresh random catch-word over MRS

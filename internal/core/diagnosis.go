@@ -51,10 +51,10 @@ func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) Rea
 		copy(words[:], hintWords)
 		res.Data = toLine(words)
 	} else {
-		raw := c.rank.ReadLine(a)
+		c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
 		var words [DataChips + 1]uint64
 		for i := range words {
-			words[i] = raw[i].Data
+			words[i] = c.readBuf[i].Data
 		}
 		res.Data = toLine(words)
 	}
@@ -70,11 +70,11 @@ func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) Rea
 func (c *Controller) interLineDiagnosis(a dram.WordAddr) int {
 	c.stats.InterLineRuns++
 	geom := c.rank.Geometry()
-	counts := make([]int, DataChips+1)
+	var counts [DataChips + 1]int
 	for col := 0; col < geom.ColsPerRow; col++ {
 		addr := dram.WordAddr{Bank: a.Bank, Row: a.Row, Col: col}
-		res := c.rank.ReadLine(addr)
-		for i, r := range res {
+		c.readBuf = c.rank.ReadLineInto(addr, c.readBuf)
+		for i, r := range c.readBuf {
 			if r.Data == c.catchWords[i] {
 				counts[i]++
 			}
@@ -159,5 +159,5 @@ func (c *Controller) reconstructAgainstChip(a dram.WordAddr, k int, outcome Outc
 		words[parityChip] = ecc.Parity(words[:DataChips])
 	}
 	c.stats.DiagCorrections++
-	return ReadResult{Data: toLine(words), Outcome: outcome, FaultyChips: []int{k}}
+	return ReadResult{Data: toLine(words), Outcome: outcome, FaultyChips: c.faultyOne(k)}
 }

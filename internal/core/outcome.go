@@ -66,7 +66,9 @@ type ReadResult struct {
 	// Outcome classifies how the line was obtained.
 	Outcome Outcome
 	// FaultyChips lists chips treated as erasures (catch-word senders or
-	// diagnosis verdicts), if any.
+	// diagnosis verdicts), if any. The slice aliases controller scratch to
+	// keep the read path allocation-free: it is valid until the next
+	// operation on the same controller, so copy it to retain it.
 	FaultyChips []int
 	// Collision is true when a legitimate data value matched a chip's
 	// catch-word (§V-D); the controller corrected "unnecessarily" and

@@ -30,9 +30,16 @@ type Block = [ChipkillDataChips]uint64
 type XEDChipkillController struct {
 	rank       *dram.Rank
 	rs         *ecc.RS
+	dec        *ecc.RSDecoder
 	catchWords [ChipkillChips]uint64
 	rng        *simrand.Source
 	stats      Stats
+
+	// Read/write-path scratch, reused across calls.
+	lane        [ChipkillChips]uint8
+	flaggedBuf  [ChipkillChips]int
+	suspectsBuf [ChipkillChips]int
+	readBuf     []dram.ReadResult
 }
 
 // NewXEDChipkillController programs catch-words and XED-Enable on all 18
@@ -41,7 +48,8 @@ func NewXEDChipkillController(rank *dram.Rank, seed uint64) *XEDChipkillControll
 	if rank.Chips() != ChipkillChips {
 		panic(fmt.Sprintf("core: XED-on-Chipkill needs 18 chips, got %d", rank.Chips()))
 	}
-	c := &XEDChipkillController{rank: rank, rs: ecc.NewXEDChipkill(), rng: simrand.New(seed)}
+	rs := ecc.NewXEDChipkill()
+	c := &XEDChipkillController{rank: rank, rs: rs, dec: rs.NewDecoder(), rng: simrand.New(seed)}
 	for i := 0; i < ChipkillChips; i++ {
 		c.catchWords[i] = c.rng.Uint64()
 		rank.Chip(i).SetCatchWord(c.catchWords[i])
@@ -63,12 +71,11 @@ func (c *XEDChipkillController) WriteBlock(a dram.WordAddr, data Block) {
 	c.stats.Writes++
 	var beats [ChipkillChips]uint64
 	copy(beats[:ChipkillDataChips], data[:])
-	lane := make([]uint8, ChipkillDataChips)
 	for b := 0; b < 8; b++ {
 		for i := 0; i < ChipkillDataChips; i++ {
-			lane[i] = uint8(data[i] >> uint(8*b))
+			c.lane[i] = uint8(data[i] >> uint(8*b))
 		}
-		cw := c.rs.Encode(lane)
+		cw := c.rs.EncodeInto(c.lane[:ChipkillDataChips], c.lane[:])
 		beats[16] |= uint64(cw[16]) << uint(8*b)
 		beats[17] |= uint64(cw[17]) << uint(8*b)
 	}
@@ -84,11 +91,11 @@ func (c *XEDChipkillController) WriteBlock(a dram.WordAddr, data Block) {
 //     unlocated chip error, the classic Chipkill case).
 func (c *XEDChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
 	c.stats.Reads++
-	res := c.rank.ReadLine(a)
+	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
 	var words [ChipkillChips]uint64
-	var flagged []int
+	flagged := c.flaggedBuf[:0]
 	for i := range words {
-		words[i] = res[i].Data
+		words[i] = c.readBuf[i].Data
 		if words[i] == c.catchWords[i] {
 			flagged = append(flagged, i)
 		}
@@ -98,7 +105,7 @@ func (c *XEDChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
 	if len(flagged) > c.rs.R {
 		// More catch-words than erasure budget: serial-mode re-read
 		// lets each on-die engine repair its own (scaling) fault.
-		suspects := make([]int, 0, len(flagged))
+		suspects := c.suspectsBuf[:0]
 		for _, i := range flagged {
 			rawVal, st := c.rank.Chip(i).ReadRaw(a)
 			words[i] = rawVal
@@ -149,12 +156,11 @@ func (c *XEDChipkillController) ReadBlock(a dram.WordAddr) (Block, Outcome) {
 
 // lanesAllValid reports whether every byte lane forms a valid RS codeword.
 func (c *XEDChipkillController) lanesAllValid(words *[ChipkillChips]uint64) bool {
-	lane := make([]uint8, ChipkillChips)
 	for b := 0; b < 8; b++ {
 		for i := 0; i < ChipkillChips; i++ {
-			lane[i] = uint8(words[i] >> uint(8*b))
+			c.lane[i] = uint8(words[i] >> uint(8*b))
 		}
-		if !c.rs.IsValid(lane) {
+		if !c.rs.IsValid(c.lane[:]) {
 			return false
 		}
 	}
@@ -165,17 +171,15 @@ func (c *XEDChipkillController) lanesAllValid(words *[ChipkillChips]uint64) bool
 // erasures. It reports ok=false if any lane is uncorrectable.
 func (c *XEDChipkillController) decodeLanes(words *[ChipkillChips]uint64, erasures []int) (bool, Block) {
 	var out Block
-	lane := make([]uint8, ChipkillChips)
 	for b := 0; b < 8; b++ {
 		for i := 0; i < ChipkillChips; i++ {
-			lane[i] = uint8(words[i] >> uint(8*b))
+			c.lane[i] = uint8(words[i] >> uint(8*b))
 		}
-		fixed, st := c.rs.DecodeErasures(lane, erasures)
-		if st == ecc.StatusDetected {
+		if c.dec.DecodeErasures(c.lane[:], erasures) == ecc.StatusDetected {
 			return false, out
 		}
 		for i := 0; i < ChipkillDataChips; i++ {
-			out[i] |= uint64(fixed[i]) << uint(8*b)
+			out[i] |= uint64(c.lane[i]) << uint(8*b)
 		}
 	}
 	return true, out
@@ -186,17 +190,15 @@ func (c *XEDChipkillController) decodeLanes(words *[ChipkillChips]uint64, erasur
 // corrupts the same symbol position in every lane).
 func (c *XEDChipkillController) decodeUnlocated(words *[ChipkillChips]uint64) (bool, Block) {
 	var out Block
-	lane := make([]uint8, ChipkillChips)
 	for b := 0; b < 8; b++ {
 		for i := 0; i < ChipkillChips; i++ {
-			lane[i] = uint8(words[i] >> uint(8*b))
+			c.lane[i] = uint8(words[i] >> uint(8*b))
 		}
-		fixed, st := c.rs.Decode(lane)
-		if st == ecc.StatusDetected {
+		if c.dec.Decode(c.lane[:]) == ecc.StatusDetected {
 			return false, out
 		}
 		for i := 0; i < ChipkillDataChips; i++ {
-			out[i] |= uint64(fixed[i]) << uint(8*b)
+			out[i] |= uint64(c.lane[i]) << uint(8*b)
 		}
 	}
 	return true, out

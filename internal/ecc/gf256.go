@@ -125,11 +125,36 @@ func polyDeriv(p []uint8) []uint8 {
 	if len(p) <= 1 {
 		return []uint8{0}
 	}
-	out := make([]uint8, len(p)-1)
-	for i := 1; i < len(p); i++ {
-		if i%2 == 1 {
-			out[i-1] = p[i]
+	return polyDerivInto(p, make([]uint8, len(p)-1))
+}
+
+// polyMulInto multiplies a and b into out's backing array, which must not
+// alias either operand and must have capacity len(a)+len(b)-1.
+func polyMulInto(a, b, out []uint8) []uint8 {
+	out = out[:len(a)+len(b)-1]
+	for i := range out {
+		out[i] = 0
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
 		}
+		for j, bj := range b {
+			out[i+j] ^= gfMul(ai, bj)
+		}
+	}
+	return out
+}
+
+// polyDerivInto is polyDeriv writing into out's backing array (capacity
+// len(p)-1, len(p) >= 2, must not alias p).
+func polyDerivInto(p, out []uint8) []uint8 {
+	out = out[:len(p)-1]
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
 	}
 	return out
 }

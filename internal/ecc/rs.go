@@ -55,6 +55,14 @@ func (rs *RS) Name() string { return fmt.Sprintf("RS(%d,%d) over GF(256)", rs.K+
 // Encode appends R check symbols to the K data symbols in data, returning a
 // full codeword of length K+R. It panics if len(data) != K.
 func (rs *RS) Encode(data []uint8) []uint8 {
+	return rs.EncodeInto(data, nil)
+}
+
+// EncodeInto is Encode writing into cw's backing array when it has capacity
+// K+R (allocating otherwise). The check symbols are computed directly in
+// cw[K:], which doubles as the LFSR remainder register, so a warm buffer
+// makes encoding allocation-free. data may alias cw[:K].
+func (rs *RS) EncodeInto(data, cw []uint8) []uint8 {
 	if len(data) != rs.K {
 		panic("ecc: RS Encode data length mismatch")
 	}
@@ -62,12 +70,19 @@ func (rs *RS) Encode(data []uint8) []uint8 {
 	// Represent message with data symbol i at coefficient R + (K-1-i) so
 	// symbol order matches chip order after the remainder is prefixed.
 	n := rs.K + rs.R
-	cw := make([]uint8, n)
-	copy(cw, data)
+	if cap(cw) < n {
+		cw = make([]uint8, n)
+	} else {
+		cw = cw[:n]
+	}
+	copy(cw[:rs.K], data)
 	// Compute remainder of data(x)·x^R divided by gen via LFSR.
-	rem := make([]uint8, rs.R)
+	rem := cw[rs.K:]
+	for i := range rem {
+		rem[i] = 0
+	}
 	for i := rs.K - 1; i >= 0; i-- {
-		feedback := data[i] ^ rem[rs.R-1]
+		feedback := cw[i] ^ rem[rs.R-1]
 		copy(rem[1:], rem[:rs.R-1])
 		rem[0] = 0
 		if feedback != 0 {
@@ -76,26 +91,6 @@ func (rs *RS) Encode(data []uint8) []uint8 {
 			}
 		}
 	}
-	copy(cw[rs.K:], rem)
-	return cw
-}
-
-// codewordPoly maps a codeword (data symbols then check symbols) to the
-// polynomial c(x) whose roots-of-generator property the decoder relies on:
-// c(x) = data(x)·x^R + rem(x), with data symbol i at degree R+i and check
-// symbol j at degree j.
-func (rs *RS) codewordPoly(cw []uint8) []uint8 {
-	p := make([]uint8, rs.K+rs.R)
-	copy(p[:rs.R], cw[rs.K:])
-	copy(p[rs.R:], cw[:rs.K])
-	return p
-}
-
-// polyToCodeword is the inverse mapping of codewordPoly.
-func (rs *RS) polyToCodeword(p []uint8) []uint8 {
-	cw := make([]uint8, rs.K+rs.R)
-	copy(cw, p[rs.R:])
-	copy(cw[rs.K:], p[:rs.R])
 	return cw
 }
 
@@ -119,18 +114,49 @@ func (rs *RS) symbolAt(deg int) int {
 // Syndromes computes the R syndromes S_j = c(alpha^j) of the received word.
 // All-zero syndromes mean a valid codeword.
 func (rs *RS) Syndromes(cw []uint8) []uint8 {
-	p := rs.codewordPoly(cw)
-	syn := make([]uint8, rs.R)
+	return rs.SyndromesInto(cw, nil)
+}
+
+// SyndromesInto is Syndromes writing into syn's backing array when it has
+// capacity R (allocating otherwise). Each syndrome is a Horner evaluation
+// walking the codeword in degree order — data symbols occupy degrees
+// R..N-1 (data symbol i at degree R+i), check symbol j degree j — so no
+// codeword-polynomial copy is materialised.
+func (rs *RS) SyndromesInto(cw, syn []uint8) []uint8 {
+	if len(cw) != rs.K+rs.R {
+		panic("ecc: RS Syndromes codeword length mismatch")
+	}
+	if cap(syn) < rs.R {
+		syn = make([]uint8, rs.R)
+	} else {
+		syn = syn[:rs.R]
+	}
 	for j := 0; j < rs.R; j++ {
-		syn[j] = polyEval(p, gfPow(j))
+		syn[j] = rs.syndrome(cw, gfPow(j))
 	}
 	return syn
 }
 
-// IsValid reports whether cw is a valid codeword.
+// syndrome evaluates the codeword polynomial at x by Horner's rule, highest
+// degree first: data symbols K-1..0, then check symbols R-1..0.
+func (rs *RS) syndrome(cw []uint8, x uint8) uint8 {
+	var y uint8
+	for i := rs.K - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ cw[i]
+	}
+	for i := rs.R - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ cw[rs.K+i]
+	}
+	return y
+}
+
+// IsValid reports whether cw is a valid codeword. It does not allocate.
 func (rs *RS) IsValid(cw []uint8) bool {
-	for _, s := range rs.Syndromes(cw) {
-		if s != 0 {
+	if len(cw) != rs.K+rs.R {
+		panic("ecc: RS Syndromes codeword length mismatch")
+	}
+	for j := 0; j < rs.R; j++ {
+		if rs.syndrome(cw, gfPow(j)) != 0 {
 			return false
 		}
 	}
@@ -153,175 +179,18 @@ func (rs *RS) Decode(cw []uint8) ([]uint8, DecodeStatus) {
 // errors-and-erasures decoder: erasure locator times error locator found by
 // Berlekamp-Massey on the Forney-modified syndromes, Chien search, and
 // Forney's formula for magnitudes.
+// The decoder itself lives on RSDecoder (rsdecoder.go), which keeps every
+// intermediate polynomial in reusable scratch; this wrapper copies cw and
+// spins up a one-shot decoder for callers that prefer the allocating API.
 func (rs *RS) DecodeErasures(cw []uint8, erasures []int) ([]uint8, DecodeStatus) {
 	n := rs.K + rs.R
 	if len(cw) != n {
 		panic("ecc: RS Decode codeword length mismatch")
 	}
-	if len(erasures) > rs.R {
-		out := make([]uint8, n)
-		copy(out, cw)
-		return out, StatusDetected
-	}
-	syn := rs.Syndromes(cw)
-	allZero := true
-	for _, s := range syn {
-		if s != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero && len(erasures) == 0 {
-		out := make([]uint8, n)
-		copy(out, cw)
-		return out, StatusOK
-	}
-	if allZero {
-		// Erasures declared but the word is already consistent: the
-		// "erased" symbols happen to hold correct data (e.g. a
-		// catch-word collision, §V-D). Nothing to fix.
-		out := make([]uint8, n)
-		copy(out, cw)
-		return out, StatusOK
-	}
-
-	// Erasure locator Γ(x) = Π (1 - alpha^{p_i} x) over erased positions.
-	gamma := []uint8{1}
-	for _, e := range erasures {
-		if e < 0 || e >= n {
-			panic("ecc: RS erasure index out of range")
-		}
-		gamma = polyMul(gamma, []uint8{1, gfPow(rs.position(e))})
-	}
-	// Modified syndromes: Ξ(x) = Γ(x)·S(x) mod x^R.
-	sPoly := make([]uint8, rs.R)
-	copy(sPoly, syn)
-	xi := polyMul(gamma, sPoly)
-	if len(xi) > rs.R {
-		xi = xi[:rs.R]
-	}
-
-	// Berlekamp-Massey for the error locator sigma(x), allowing
-	// t <= (R - e)/2 unknown errors. Only the modified syndromes with
-	// index >= e are free of erasure contributions (Forney syndromes),
-	// so BM runs on that tail.
-	e := len(erasures)
-	tMax := (rs.R - e) / 2
-	sigma := rs.berlekampMassey(xi[e:], tMax)
-	if sigma == nil {
-		out := make([]uint8, n)
-		copy(out, cw)
-		return out, StatusDetected
-	}
-
-	// Combined locator Λ(x) = sigma(x)·Γ(x); roots give all bad positions.
-	lambda := polyMul(sigma, gamma)
-	positions := rs.chienSearch(lambda)
-	if len(positions) != len(lambda)-1 {
-		// Locator degree does not match its root count: uncorrectable.
-		out := make([]uint8, n)
-		copy(out, cw)
-		return out, StatusDetected
-	}
-
-	// Forney: error magnitude at position p is
-	//   e_p = Omega(X^-1) / Λ'(X^-1),  X = alpha^p,
-	// with Omega(x) = S(x)·Λ(x) mod x^R.
-	omega := polyMul(sPoly, lambda)
-	if len(omega) > rs.R {
-		omega = omega[:rs.R]
-	}
-	lambdaPrime := polyDeriv(lambda)
-
-	p := rs.codewordPoly(cw)
-	for _, pos := range positions {
-		xInv := gfPow(-pos)
-		den := polyEval(lambdaPrime, xInv)
-		if den == 0 {
-			out := make([]uint8, n)
-			copy(out, cw)
-			return out, StatusDetected
-		}
-		// With first generator root alpha^0 the magnitude carries an
-		// extra X = alpha^pos factor: e = X·Omega(X^-1)/Λ'(X^-1).
-		mag := gfMul(gfPow(pos), gfDiv(polyEval(omega, xInv), den))
-		p[pos] ^= mag
-	}
-	// Verify: corrected word must have all-zero syndromes.
-	for j := 0; j < rs.R; j++ {
-		if polyEval(p, gfPow(j)) != 0 {
-			out := make([]uint8, n)
-			copy(out, cw)
-			return out, StatusDetected
-		}
-	}
-	return rs.polyToCodeword(p), StatusCorrected
-}
-
-// berlekampMassey finds the minimal error-locator polynomial consistent
-// with the syndrome sequence, or nil if its degree would exceed tMax (more
-// errors than the remaining correction budget).
-func (rs *RS) berlekampMassey(syn []uint8, tMax int) []uint8 {
-	c := []uint8{1}
-	b := []uint8{1}
-	l := 0
-	m := 1
-	var bCoef uint8 = 1
-	for i := 0; i < len(syn); i++ {
-		// Discrepancy.
-		var d uint8 = syn[i]
-		for j := 1; j <= l && j < len(c); j++ {
-			d ^= gfMul(c[j], syn[i-j])
-		}
-		if d == 0 {
-			m++
-			continue
-		}
-		if 2*l <= i {
-			t := make([]uint8, len(c))
-			copy(t, c)
-			// c = c - (d/bCoef)·x^m·b
-			scale := gfDiv(d, bCoef)
-			shifted := make([]uint8, m+len(b))
-			for j, bj := range b {
-				shifted[m+j] = gfMul(bj, scale)
-			}
-			c = polyAdd(c, shifted)
-			l = i + 1 - l
-			b = t
-			bCoef = d
-			m = 1
-		} else {
-			scale := gfDiv(d, bCoef)
-			shifted := make([]uint8, m+len(b))
-			for j, bj := range b {
-				shifted[m+j] = gfMul(bj, scale)
-			}
-			c = polyAdd(c, shifted)
-			m++
-		}
-	}
-	// Trim trailing zeros.
-	for len(c) > 1 && c[len(c)-1] == 0 {
-		c = c[:len(c)-1]
-	}
-	if l > tMax || len(c)-1 != l {
-		return nil
-	}
-	return c
-}
-
-// chienSearch returns the polynomial degrees (0..K+R-1) whose associated
-// points are roots of lambda, i.e. the error positions.
-func (rs *RS) chienSearch(lambda []uint8) []int {
-	var positions []int
-	n := rs.K + rs.R
-	for pos := 0; pos < n; pos++ {
-		if polyEval(lambda, gfPow(-pos)) == 0 {
-			positions = append(positions, pos)
-		}
-	}
-	return positions
+	out := make([]uint8, n)
+	copy(out, cw)
+	st := rs.NewDecoder().DecodeErasures(out, erasures)
+	return out, st
 }
 
 // CorrectErasuresOnly recovers up to R erased symbols assuming no other

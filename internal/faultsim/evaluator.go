@@ -1,0 +1,353 @@
+package faultsim
+
+import (
+	"math"
+
+	"xedsim/internal/dram"
+)
+
+// TrialOutcome is one scheme's verdict on one trial: the earliest failure
+// instant (+Inf for survival) and its DUE/SDC classification.
+type TrialOutcome struct {
+	FailTime float64
+	Kind     FailKind
+}
+
+// faultEntry is one fault record pre-digested for one scheme: the
+// scheme-dependent quantities (domain, weight, silent flag) are computed
+// once instead of O(n) times inside the reference probe's inner loop.
+type faultEntry struct {
+	start, end float64
+	rec        *FaultRecord
+	idx        int32 // original record index: the probe's tie-break order
+	chip       int32 // global chip id: (channel*RPC + rank)*CPR + chip
+	domain     int32
+	weight     int8
+	silent     bool
+	overweight bool // weight > capacity: fails alone, never anchors
+}
+
+func entryLess(a, b *faultEntry) bool {
+	if a.domain != b.domain {
+		return a.domain < b.domain
+	}
+	if a.start != b.start {
+		return a.start < b.start
+	}
+	return a.idx < b.idx
+}
+
+// Evaluator judges fault streams against a fixed set of schemes with all
+// scratch state reused across trials. It replaces the per-record
+// map[chipKey]int + O(n²) rescan of domainScheme.FailTimeKind with a
+// per-trial index: entries are bucketed by domain (sorted once per trial),
+// and the concurrency probe walks each domain run with epoch-stamped
+// fleet-sized per-chip arrays. Results are bit-identical to the reference
+// probe — TestEvaluatorMatchesReferenceProbe holds it to that.
+//
+// An Evaluator is not safe for concurrent use; Run gives each worker its
+// own.
+type Evaluator struct {
+	cfg   *Config
+	evals []schemeEval
+	// scalingFatal mirrors the reference probe's early-out: without
+	// On-Die ECC, birthtime scaling faults defeat every scheme at t=0.
+	scalingFatal bool
+
+	entries []faultEntry // per-trial per-scheme index, reused
+
+	// Per-chip probe scratch, indexed by global chip id and validated by
+	// epoch stamps so it never needs clearing between probes.
+	epoch      uint32
+	chipEpoch  []uint32
+	chipWeight []int32
+	chipMinIdx []int32 // min original idx seen on the chip; -1 = anchor chip
+	chipSilent []bool
+
+	emptyOut     []TrialOutcome
+	emptySurvive bool
+}
+
+type schemeEval struct {
+	scheme Scheme
+	ds     *domainScheme // nil → generic Scheme fallback
+}
+
+// NewEvaluator prepares reusable evaluation state for cfg and schemes. The
+// schemes' outcomes from EvaluateInto appear in the same order as the
+// schemes argument.
+func NewEvaluator(cfg *Config, schemes []Scheme) *Evaluator {
+	e := &Evaluator{cfg: cfg, scalingFatal: !cfg.OnDie && cfg.ScalingRate > 0}
+	for _, s := range schemes {
+		ds, _ := s.(*domainScheme)
+		e.evals = append(e.evals, schemeEval{scheme: s, ds: ds})
+	}
+	n := cfg.TotalChips()
+	e.chipEpoch = make([]uint32, n)
+	e.chipWeight = make([]int32, n)
+	e.chipMinIdx = make([]int32, n)
+	e.chipSilent = make([]bool, n)
+	e.emptyOut = e.EvaluateInto(nil, nil)
+	e.emptySurvive = true
+	for _, o := range e.emptyOut {
+		if !math.IsInf(o.FailTime, 1) {
+			e.emptySurvive = false
+			break
+		}
+	}
+	return e
+}
+
+// EmptyTrialsSurvive reports whether a trial with no fault records survives
+// under every scheme. When true, the campaign loop may account zero-fault
+// trials wholesale (see generator.nextNonEmpty) instead of evaluating each.
+func (e *Evaluator) EmptyTrialsSurvive() bool { return e.emptySurvive }
+
+// classLive reports whether a fault of the given class can ever carry
+// nonzero weight under at least one evaluated scheme. When it cannot, the
+// class is inert: weight-0 records are skipped by both the reference probe
+// and the pre-index before any range or silent-count logic, so dropping
+// the class from generation leaves every TrialOutcome distribution
+// unchanged while shrinking the Poisson mean (bit faults under On-Die ECC
+// are over half of Table I). The check sweeps the record fields the weight
+// functions may consult — chip position and the silent/escalated flags —
+// at their extreme values; non-domainScheme schemes are opaque, so any
+// such scheme keeps every class live.
+func (e *Evaluator) classLive(cls ClassRate) bool {
+	anyOpaque := false
+	for i := range e.evals {
+		if e.evals[i].ds == nil {
+			anyOpaque = true
+		}
+	}
+	if anyOpaque || len(e.evals) == 0 {
+		return true
+	}
+	// Only flag values the generator can actually produce matter: Silent
+	// is sampled for word faults under On-Die ECC, EscalatedByScaling for
+	// bit faults when birthtime scaling is modelled.
+	silentVals := []bool{false}
+	if cls.Gran == dram.GranWord && e.cfg.OnDie && e.cfg.SilentWordFraction > 0 {
+		silentVals = append(silentVals, true)
+	}
+	escVals := []bool{false}
+	if cls.Gran == dram.GranBit && e.cfg.OnDie && e.cfg.ScalingRate > 0 {
+		escVals = append(escVals, true)
+	}
+	var r FaultRecord
+	r.Gran = cls.Gran
+	r.Transient = cls.Transient
+	for i := range e.evals {
+		ds := e.evals[i].ds
+		for _, chip := range [2]int{0, e.cfg.ChipsPerRank - 1} {
+			r.Chip = chip
+			for _, silent := range silentVals {
+				r.Silent = silent
+				for _, esc := range escVals {
+					r.EscalatedByScaling = esc
+					if ds.weight(e.cfg, &r) > 0 {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// EvaluateInto judges one trial's fault stream under every scheme,
+// appending one TrialOutcome per scheme to out[:0]. The returned slice is
+// valid until the next call with the same backing array. It performs no
+// heap allocations once out has capacity for all schemes.
+func (e *Evaluator) EvaluateInto(faults []FaultRecord, out []TrialOutcome) []TrialOutcome {
+	out = out[:0]
+	for i := range e.evals {
+		ev := &e.evals[i]
+		if ev.ds == nil {
+			out = append(out, e.genericOutcome(ev.scheme, faults))
+			continue
+		}
+		out = append(out, e.evalDomain(ev.ds, faults))
+	}
+	return out
+}
+
+func (e *Evaluator) genericOutcome(s Scheme, faults []FaultRecord) TrialOutcome {
+	if ks, ok := s.(KindedScheme); ok {
+		t, k := ks.FailTimeKind(e.cfg, faults)
+		return TrialOutcome{FailTime: t, Kind: k}
+	}
+	return TrialOutcome{FailTime: s.FailTime(e.cfg, faults), Kind: FailNone}
+}
+
+// evalDomain evaluates one domainScheme over the trial. Semantics match
+// domainScheme.FailTimeKind exactly: the winning event — an overweight
+// record or a failing anchor probe — is the one with lexicographically
+// minimal (time, original record index), reproducing the reference's
+// record-order iteration with its strict `t < fail` replacement rule.
+func (e *Evaluator) evalDomain(s *domainScheme, faults []FaultRecord) TrialOutcome {
+	if e.scalingFatal {
+		return TrialOutcome{FailTime: 0, Kind: FailSDC}
+	}
+	cfg := e.cfg
+	bestTime := math.Inf(1)
+	bestIdx := int32(math.MaxInt32)
+	bestKind := FailNone
+
+	// Pass 1: digest each record once per scheme. Overweight records
+	// (weight > capacity) fail the scheme on their own at onset; they are
+	// folded into the running best here and still join the index because
+	// they contribute weight to other anchors' probes.
+	entries := e.entries[:0]
+	nchips := int32(len(e.chipEpoch))
+	rpc, cpr := cfg.RanksPerChannel, cfg.ChipsPerRank
+	for i := range faults {
+		r := &faults[i]
+		w := s.weight(cfg, r)
+		if w == 0 {
+			continue
+		}
+		chip := int32((r.Channel*rpc+r.Rank)*cpr + r.Chip)
+		if chip < 0 || chip >= nchips {
+			// A record outside the configured fleet (hand-built or
+			// foreign trace): the fixed-size chip arrays cannot index
+			// it, so fall back to the map-based reference probe.
+			e.entries = entries[:0]
+			t, k := s.FailTimeKind(cfg, faults)
+			return TrialOutcome{FailTime: t, Kind: k}
+		}
+		if w > s.capacity {
+			if r.Start < bestTime || (r.Start == bestTime && int32(i) < bestIdx) {
+				silent := 0
+				if isSilentRecord(r) {
+					silent = 1
+				}
+				bestTime, bestIdx = r.Start, int32(i)
+				bestKind = s.kind(silent, 1, eventHash(r))
+			}
+		}
+		entries = append(entries, faultEntry{})
+		en := &entries[len(entries)-1]
+		en.start, en.end = r.Start, r.End
+		en.rec = r
+		en.idx = int32(i)
+		en.chip = chip
+		en.domain = int32(s.domainOf(cfg, r))
+		en.weight = int8(w)
+		en.silent = isSilentRecord(r)
+		en.overweight = w > s.capacity
+	}
+	e.entries = entries
+	if len(entries) <= 1 {
+		// A single within-budget record cannot fail the scheme, and an
+		// overweight one is already folded into best: no probe needed.
+		return TrialOutcome{FailTime: bestTime, Kind: bestKind}
+	}
+
+	// Pass 2: bucket by domain. Trials carry a handful of visible
+	// records, so an in-place insertion sort beats sort.Slice and its
+	// closure allocation.
+	for i := 1; i < len(entries); i++ {
+		en := entries[i]
+		j := i - 1
+		for j >= 0 && entryLess(&en, &entries[j]) {
+			entries[j+1] = entries[j]
+			j--
+		}
+		entries[j+1] = en
+	}
+
+	// Pass 3: probe each domain run.
+	for lo := 0; lo < len(entries); {
+		hi := lo + 1
+		for hi < len(entries) && entries[hi].domain == entries[lo].domain {
+			hi++
+		}
+		e.probeRun(s, entries[lo:hi], &bestTime, &bestIdx, &bestKind)
+		lo = hi
+	}
+	return TrialOutcome{FailTime: bestTime, Kind: bestKind}
+}
+
+// probeRun anchors a concurrency probe at each non-overweight entry of one
+// domain's (start, idx)-sorted run: sum the per-chip MAX weights of entries
+// active at the anchor instant, counting one silent flag per chip from that
+// chip's minimal-original-index active record (the anchor chip keeps the
+// anchor's own flag — sentinel minIdx -1). Any compound failure's onset
+// coincides with some record's start, so probing starts is exhaustive.
+func (e *Evaluator) probeRun(s *domainScheme, run []faultEntry, bestTime *float64, bestIdx *int32, bestKind *FailKind) {
+	cfg := e.cfg
+	for a := range run {
+		an := &run[a]
+		if an.overweight {
+			continue
+		}
+		t := an.start
+		// Anchors arrive in (start, idx) order: the first that cannot
+		// beat the best event rules out every later one in this run.
+		if t > *bestTime || (t == *bestTime && an.idx > *bestIdx) {
+			break
+		}
+		e.epoch++
+		epoch := e.epoch
+		e.chipEpoch[an.chip] = epoch
+		e.chipWeight[an.chip] = int32(an.weight)
+		e.chipMinIdx[an.chip] = -1
+		total := int32(an.weight)
+		distinct := 1
+		silent := 0
+		if an.silent {
+			silent = 1
+		}
+		for k := range run {
+			o := &run[k]
+			if o.start > t {
+				break // sorted by start: nothing later is active yet
+			}
+			if k == a || o.end <= t {
+				continue
+			}
+			if cfg.RequireAddressOverlap && !an.rec.Range.Intersects(&o.rec.Range) {
+				continue
+			}
+			c := o.chip
+			ow := int32(o.weight)
+			if e.chipEpoch[c] != epoch {
+				e.chipEpoch[c] = epoch
+				e.chipWeight[c] = ow
+				e.chipMinIdx[c] = o.idx
+				e.chipSilent[c] = o.silent
+				total += ow
+				distinct++
+				if o.silent {
+					silent++
+				}
+				continue
+			}
+			if ow > e.chipWeight[c] {
+				total += ow - e.chipWeight[c]
+				e.chipWeight[c] = ow
+			}
+			if mi := e.chipMinIdx[c]; mi >= 0 && o.idx < mi {
+				// An earlier-indexed record takes over the chip's
+				// silent flag (the reference counts the first record
+				// it encounters per chip, i.e. the lowest index).
+				if o.silent != e.chipSilent[c] {
+					if o.silent {
+						silent++
+					} else {
+						silent--
+					}
+				}
+				e.chipSilent[c] = o.silent
+				e.chipMinIdx[c] = o.idx
+			}
+		}
+		if int(total) > s.capacity {
+			*bestTime = t
+			*bestIdx = an.idx
+			*bestKind = s.kind(silent, distinct, eventHash(an.rec))
+			break // later anchors in this run are lexicographically larger
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package faultsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+// equivalenceConfigs returns the config corners the optimized evaluator
+// must match the reference probe on.
+func equivalenceConfigs() []Config {
+	base := DefaultConfig()
+	overlap := DefaultConfig()
+	overlap.RequireAddressOverlap = true
+	scaling := DefaultConfig()
+	scaling.ScalingRate = 1e-4
+	noOnDie := DefaultConfig()
+	noOnDie.OnDie = false
+	noOnDieScaling := DefaultConfig()
+	noOnDieScaling.OnDie = false
+	noOnDieScaling.ScalingRate = 1e-4
+	silent := DefaultConfig()
+	silent.SilentWordFraction = 0.5
+	return []Config{base, overlap, scaling, noOnDie, noOnDieScaling, silent}
+}
+
+// inflate multiplies every FIT rate so trials carry dense fault streams —
+// the regime where the pre-index's sorting, tie-breaking and per-chip
+// max/silent bookkeeping actually get exercised.
+func inflate(cfg Config, factor float64) Config {
+	fits := make(FITTable, len(cfg.FITs))
+	copy(fits, cfg.FITs)
+	for i := range fits {
+		fits[i].Rate *= FIT(factor)
+	}
+	cfg.FITs = fits
+	return cfg
+}
+
+// TestEvaluatorMatchesReferenceProbe holds the pre-indexed Evaluator to
+// bit-identical (FailTime, FailKind) agreement with the O(n²) reference
+// probe across randomized fault streams for all six schemes, including
+// adversarial mutations (duplicated start times, same-chip pileups) that
+// stress the tie-break and silent-count rules.
+func TestEvaluatorMatchesReferenceProbe(t *testing.T) {
+	schemes := AllSchemes()
+	for ci, cfg := range equivalenceConfigs() {
+		cfg := inflate(cfg, 100) // ~29 faults per trial
+		gen := newGenerator(&cfg)
+		ev := NewEvaluator(&cfg, schemes)
+		rng := simrand.New(uint64(1000 + ci))
+		mut := simrand.New(uint64(2000 + ci))
+		var buf []FaultRecord
+		var outs []TrialOutcome
+		for trial := 0; trial < 250; trial++ {
+			buf = gen.Trial(rng, buf)
+			// Adversarial mutations: force start-time ties across
+			// records and pile extra records onto already-hit chips.
+			if len(buf) >= 2 && trial%3 == 0 {
+				for m := 0; m < 4; m++ {
+					i := mut.Intn(len(buf))
+					j := mut.Intn(len(buf))
+					buf[i].Start = buf[j].Start
+					if buf[i].End <= buf[i].Start {
+						buf[i].End = buf[i].Start + 1
+					}
+				}
+				i := mut.Intn(len(buf))
+				j := mut.Intn(len(buf))
+				buf[i].Channel, buf[i].Rank, buf[i].Chip = buf[j].Channel, buf[j].Rank, buf[j].Chip
+			}
+			outs = ev.EvaluateInto(buf, outs)
+			for s, scheme := range schemes {
+				wantT, wantK := scheme.(KindedScheme).FailTimeKind(&cfg, buf)
+				gotT, gotK := outs[s].FailTime, outs[s].Kind
+				if math.Float64bits(gotT) != math.Float64bits(wantT) || gotK != wantK {
+					t.Fatalf("config %d trial %d scheme %s: evaluator (%v, %v) != reference (%v, %v) on %d faults",
+						ci, trial, scheme.Name(), gotT, gotK, wantT, wantK, len(buf))
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorEmptyTrialsSurvive pins the gate the skip-sampling fast
+// path depends on.
+func TestEvaluatorEmptyTrialsSurvive(t *testing.T) {
+	cfg := DefaultConfig()
+	if !NewEvaluator(&cfg, AllSchemes()).EmptyTrialsSurvive() {
+		t.Fatal("default config: empty trials must survive")
+	}
+	fatal := DefaultConfig()
+	fatal.OnDie = false
+	fatal.ScalingRate = 1e-4
+	if NewEvaluator(&fatal, AllSchemes()).EmptyTrialsSurvive() {
+		t.Fatal("scaling without on-die ECC: empty trials must not survive")
+	}
+}
+
+// TestEvaluatorOutOfFleetRecordFallsBack: records outside the configured
+// fleet (hand-built traces) must take the reference path, not index out of
+// the chip arrays.
+func TestEvaluatorOutOfFleetRecordFallsBack(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := AllSchemes()
+	ev := NewEvaluator(&cfg, schemes)
+	faults := []FaultRecord{
+		mkRec(0, 0, 0, dram.GranWord, false, 10, cfg.LifetimeHours),
+		mkRec(99, 0, 0, dram.GranWord, false, 20, cfg.LifetimeHours), // channel 99 of 4
+	}
+	outs := ev.EvaluateInto(faults, nil)
+	for s, scheme := range schemes {
+		wantT, wantK := scheme.(KindedScheme).FailTimeKind(&cfg, faults)
+		if math.Float64bits(outs[s].FailTime) != math.Float64bits(wantT) || outs[s].Kind != wantK {
+			t.Fatalf("scheme %s: fallback mismatch", scheme.Name())
+		}
+	}
+}
+
+// TestRunReportFullyDeterministic asserts Run returns identical Reports —
+// every field, not just failure totals — for repeated calls with the same
+// (cfg, trials, seed, workers).
+func TestRunReportFullyDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, workers := range []int{1, 3} {
+		a, err := Run(cfg, AllSchemes(), 4000, 123, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg, AllSchemes(), 4000, 123, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("workers=%d: repeated Run produced different Reports", workers)
+		}
+	}
+}
+
+// TestEvaluateIntoAllocFree locks in the zero-allocation hot path once the
+// scratch buffers are warm.
+func TestEvaluateIntoAllocFree(t *testing.T) {
+	cfg := inflate(DefaultConfig(), 100)
+	schemes := AllSchemes()
+	gen := newGenerator(&cfg)
+	ev := NewEvaluator(&cfg, schemes)
+	rng := simrand.New(9)
+	buf := gen.Trial(rng, nil)
+	for len(buf) < 8 {
+		buf = gen.Trial(rng, buf)
+	}
+	outs := ev.EvaluateInto(buf, nil) // warm the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		outs = ev.EvaluateInto(buf, outs)
+	})
+	if allocs != 0 {
+		t.Fatalf("EvaluateInto allocates %v times per trial, want 0", allocs)
+	}
+}

@@ -134,24 +134,18 @@ func Run(cfg Config, schemes []Scheme, trials int, seed uint64, workers int) (*R
 				sh.failures[s] = make([]uint64, years)
 			}
 			rng := simrand.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
-			gen := newGenerator(&cfg)
+			ev := NewEvaluator(&cfg, schemes)
+			gen := newRunGenerator(&cfg, ev)
 			var buf []FaultRecord
-			lo, hi := w*trials/workers, (w+1)*trials/workers
-			for t := lo; t < hi; t++ {
-				buf = gen.Trial(rng, buf)
-				for s, scheme := range schemes {
-					var ft float64
-					kind := FailNone
-					if ks, ok := scheme.(KindedScheme); ok {
-						ft, kind = ks.FailTimeKind(&cfg, buf)
-					} else {
-						ft = scheme.FailTime(&cfg, buf)
-					}
+			var outs []TrialOutcome
+			tally := func(outs []TrialOutcome) {
+				for s := range outs {
+					ft := outs[s].FailTime
 					if math.IsInf(ft, 1) {
 						continue
 					}
 					sh.total[s]++
-					switch kind {
+					switch outs[s].Kind {
 					case FailDUE:
 						sh.dues[s]++
 					case FailSDC:
@@ -164,6 +158,35 @@ func Run(cfg Config, schemes []Scheme, trials int, seed uint64, workers int) (*R
 					for y := yr; y < years; y++ {
 						sh.failures[s][y]++
 					}
+				}
+			}
+			lo, hi := w*trials/workers, (w+1)*trials/workers
+			if ev.EmptyTrialsSurvive() {
+				// Fast path: ~3/4 of trials draw zero faults under the
+				// Table I rates and cannot fail any scheme, so account
+				// their geometric runs wholesale and only generate +
+				// evaluate the non-empty trials. Exactness: trial
+				// counts are i.i.d., so the run of zeros and the next
+				// nonzero count factor independently, and the
+				// discarded out-of-shard trial is memoryless.
+				for t := lo; t < hi; {
+					skipped, rec := gen.nextNonEmpty(rng, buf)
+					buf = rec
+					if skipped >= hi-t {
+						break // rest of the shard drew empty trials
+					}
+					t += skipped
+					if len(buf) > 0 { // aging thinning can still empty a trial
+						outs = ev.EvaluateInto(buf, outs)
+						tally(outs)
+					}
+					t++
+				}
+			} else {
+				for t := lo; t < hi; t++ {
+					buf = gen.Trial(rng, buf)
+					outs = ev.EvaluateInto(buf, outs)
+					tally(outs)
 				}
 			}
 		}(w)
@@ -210,10 +233,11 @@ func (rep *Report) ImprovementCI(a, b string) (ratio, lo, hi float64) {
 		return math.Inf(1), 0, math.Inf(1)
 	}
 	ratio = rb.Probability() / ra.Probability()
-	// Var(log p̂) ≈ (1-p)/(np) for a binomial proportion.
-	n := float64(ra.Trials)
-	va := (1 - ra.Probability()) / (n * ra.Probability())
-	vb := (1 - rb.Probability()) / (n * rb.Probability())
+	// Var(log p̂) ≈ (1-p)/(np) for a binomial proportion, each scheme with
+	// its own trial count.
+	na, nb := float64(ra.Trials), float64(rb.Trials)
+	va := (1 - ra.Probability()) / (na * ra.Probability())
+	vb := (1 - rb.Probability()) / (nb * rb.Probability())
 	se := math.Sqrt(va + vb)
 	lo = ratio * math.Exp(-1.96*se)
 	hi = ratio * math.Exp(1.96*se)

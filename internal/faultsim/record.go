@@ -28,7 +28,9 @@ type FaultRecord struct {
 	// so the fault becomes visible outside the chip (§VII, footnote 2).
 	EscalatedByScaling bool
 	// Range is the symbolic address range, used when the precise
-	// address-overlap criterion is enabled.
+	// address-overlap criterion is enabled. The Monte-Carlo fast path
+	// leaves it zero unless Config.RequireAddressOverlap is set; Trial
+	// (the trace/replay entry point) always populates it.
 	Range dram.Fault
 	// EventID groups the per-chip records of one multi-rank event.
 	EventID uint64
@@ -44,20 +46,56 @@ func (f *FaultRecord) OverlapStart(o *FaultRecord) float64 {
 	return math.Max(f.Start, o.Start)
 }
 
-// generator draws the fault stream for one trial.
+// generator draws the fault stream for one trial. All per-config constants
+// (class means, exp(-mean), Lemire thresholds, the scaling-escalation
+// probability) are computed once here rather than per record; the trial
+// loop runs millions of times per campaign.
 type generator struct {
 	cfg *Config
-	// classMeans[i] is the expected number of class-i faults across the
-	// whole fleet and lifetime; cumWeights supports O(log n) sampling.
+	// classes holds the fault classes this generator draws from —
+	// cfg.FITs, minus any classes a scheme-aware caller proved inert —
+	// and classMeans[i] is the expected number of class-i faults across
+	// the whole fleet and lifetime.
+	classes    []ClassRate
 	classMeans []float64
 	totalMean  float64
 	nextEvent  uint64
+
+	// withRanges controls whether emitted records carry their symbolic
+	// address Range. The Monte-Carlo schemes only read Range under the
+	// precise address-overlap criterion, so Run skips the (RNG-heavy)
+	// range draws otherwise. Trial always sets it.
+	withRanges bool
+
+	// Precomputed samplers and constants.
+	trialCount   simrand.PoissonSampler // mean = totalMean
+	trialCountPk simrand.PoissonSampler // mean = totalMean * aging peak
+	classSamp    simrand.WeightedSampler
+	chSamp       simrand.IntnSampler
+	rankSamp     simrand.IntnSampler
+	chipSamp     simrand.IntnSampler
+	bankSamp     simrand.IntnSampler
+	rowSamp      simrand.IntnSampler
+	colSamp      simrand.IntnSampler
+	bitSamp      simrand.IntnSampler
+	escalateProb float64 // P(struck word already holds a weak cell)
 }
 
 func newGenerator(cfg *Config) *generator {
-	g := &generator{cfg: cfg}
+	return newFilteredGenerator(cfg, nil)
+}
+
+// newFilteredGenerator builds a generator over the classes that pass
+// `live` (nil keeps everything). Dropping classes rescales the Poisson
+// trial-count mean accordingly, so the surviving classes keep their exact
+// per-class arrival statistics.
+func newFilteredGenerator(cfg *Config, live func(ClassRate) bool) *generator {
+	g := &generator{cfg: cfg, withRanges: true}
 	chips := float64(cfg.TotalChips())
 	for _, cls := range cfg.FITs {
+		if live != nil && !live(cls) {
+			continue
+		}
 		perChip := float64(cls.Rate) * 1e-9 * cfg.LifetimeHours
 		mean := perChip * chips
 		if cls.Gran == dram.GranChip {
@@ -68,9 +106,43 @@ func newGenerator(cfg *Config) *generator {
 			// record per rank.
 			mean = float64(cls.Rate) * 1e-9 * cfg.LifetimeHours * float64(cfg.Channels)
 		}
+		g.classes = append(g.classes, cls)
 		g.classMeans = append(g.classMeans, mean)
 		g.totalMean += mean
 	}
+	g.trialCount = simrand.NewPoissonSampler(g.totalMean)
+	if cfg.Aging.enabled() {
+		g.trialCountPk = simrand.NewPoissonSampler(g.totalMean * cfg.Aging.Peak())
+	}
+	if g.totalMean > 0 {
+		g.classSamp = simrand.NewWeightedSampler(g.classMeans)
+	}
+	g.chSamp = simrand.NewIntnSampler(cfg.Channels)
+	g.rankSamp = simrand.NewIntnSampler(cfg.RanksPerChannel)
+	g.chipSamp = simrand.NewIntnSampler(cfg.ChipsPerRank)
+	g.bankSamp = simrand.NewIntnSampler(cfg.Geom.Banks)
+	g.rowSamp = simrand.NewIntnSampler(cfg.Geom.RowsPerBank)
+	g.colSamp = simrand.NewIntnSampler(cfg.Geom.ColsPerRow)
+	g.bitSamp = simrand.NewIntnSampler(72)
+	if cfg.OnDie && cfg.ScalingRate > 0 {
+		// Probability the struck word already holds a weak cell among
+		// its other 71 bits.
+		g.escalateProb = 1 - math.Pow(1-cfg.ScalingRate, 71)
+	}
+	return g
+}
+
+// newRunGenerator builds the Monte-Carlo campaign generator: identical
+// outcome statistics under ev's schemes, but classes no scheme can react
+// to are not generated at all, and address ranges are only drawn when a
+// scheme will actually read them.
+func newRunGenerator(cfg *Config, ev *Evaluator) *generator {
+	var live func(ClassRate) bool
+	if ev != nil {
+		live = ev.classLive
+	}
+	g := newFilteredGenerator(cfg, live)
+	g.withRanges = cfg.RequireAddressOverlap
 	return g
 }
 
@@ -83,15 +155,15 @@ func (g *generator) Trial(rng *simrand.Source, buf []FaultRecord) []FaultRecord 
 	buf = buf[:0]
 	aging := g.cfg.Aging
 	if !aging.enabled() {
-		n := rng.Poisson(g.totalMean)
+		n := g.trialCount.Sample(rng)
 		for i := 0; i < n; i++ {
 			cls := g.sampleClass(rng)
-			buf = g.emit(rng, buf, g.cfg.FITs[cls])
+			buf = g.emit(rng, buf, g.classes[cls])
 		}
 		return buf
 	}
 	peak := aging.Peak()
-	n := rng.Poisson(g.totalMean * peak)
+	n := g.trialCountPk.Sample(rng)
 	for i := 0; i < n; i++ {
 		// Candidate onset; thin against the bathtub.
 		x := rng.Float64()
@@ -99,27 +171,62 @@ func (g *generator) Trial(rng *simrand.Source, buf []FaultRecord) []FaultRecord 
 			continue
 		}
 		cls := g.sampleClass(rng)
-		buf = g.emitAt(rng, buf, g.cfg.FITs[cls], x*g.cfg.LifetimeHours)
+		buf = g.emitAt(rng, buf, g.classes[cls], x*g.cfg.LifetimeHours)
 	}
 	return buf
 }
 
-func (g *generator) sampleClass(rng *simrand.Source) int {
-	u := rng.Float64() * g.totalMean
-	for i, m := range g.classMeans {
-		u -= m
-		if u < 0 {
-			return i
-		}
+// nextNonEmpty is the Monte-Carlo fast path: it reports how many trials in
+// a row drew zero faults (`skipped`) and then generates the next trial that
+// drew a nonzero count. An empty trial cannot fail any scheme (callers
+// check Evaluator.EmptyTrialsSurvive first), so the campaign loop accounts
+// the skipped trials wholesale instead of spending a Poisson draw and a
+// scheme sweep on each. The decomposition is exact: i.i.d. trial counts
+// make the zero-run geometric and the next count zero-truncated Poisson.
+// Under an aging profile the *candidate* count is decomposed the same way;
+// thinning can still return an empty buf, which callers treat as one more
+// surviving trial.
+func (g *generator) nextNonEmpty(rng *simrand.Source, buf []FaultRecord) (skipped int, out []FaultRecord) {
+	buf = buf[:0]
+	aging := g.cfg.Aging
+	if g.totalMean <= 0 {
+		return int(^uint(0) >> 1), buf // no faults ever: skip everything
 	}
-	return len(g.classMeans) - 1
+	if !aging.enabled() {
+		var n int
+		skipped, n = g.trialCount.NextPositive(rng)
+		for i := 0; i < n; i++ {
+			cls := g.sampleClass(rng)
+			buf = g.emit(rng, buf, g.classes[cls])
+		}
+		return skipped, buf
+	}
+	peak := aging.Peak()
+	var n int
+	skipped, n = g.trialCountPk.NextPositive(rng)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		if !rng.Bernoulli(aging.Multiplier(x) / peak) {
+			continue
+		}
+		cls := g.sampleClass(rng)
+		buf = g.emitAt(rng, buf, g.classes[cls], x*g.cfg.LifetimeHours)
+	}
+	return skipped, buf
+}
+
+func (g *generator) sampleClass(rng *simrand.Source) int {
+	return g.classSamp.Sample(rng)
 }
 
 func (g *generator) emit(rng *simrand.Source, buf []FaultRecord, cls ClassRate) []FaultRecord {
 	return g.emitAt(rng, buf, cls, rng.Float64()*g.cfg.LifetimeHours)
 }
 
-// emitAt emits one fault with a fixed onset time.
+// emitAt emits one fault with a fixed onset time. Records are constructed
+// in place in buf's grown tail; the FaultRecord struct is large enough
+// (~30% of generation time went to copying it) that building a local and
+// appending shows up in profiles.
 func (g *generator) emitAt(rng *simrand.Source, buf []FaultRecord, cls ClassRate, start float64) []FaultRecord {
 	cfg := g.cfg
 	end := cfg.LifetimeHours
@@ -131,38 +238,35 @@ func (g *generator) emitAt(rng *simrand.Source, buf []FaultRecord, cls ClassRate
 			end = math.Min(start+cfg.ScrubIntervalHours, cfg.LifetimeHours)
 		}
 	}
-	ch := rng.Intn(cfg.Channels)
-	rank := rng.Intn(cfg.RanksPerChannel)
-	chip := rng.Intn(cfg.ChipsPerRank)
-
-	base := FaultRecord{
-		Channel: ch, Rank: rank, Chip: chip,
-		Start: start, End: end,
-		Gran: cls.Gran, Transient: cls.Transient,
-		Range: g.randomRange(rng, cls),
+	buf = append(buf, FaultRecord{})
+	r := &buf[len(buf)-1]
+	r.Channel = g.chSamp.Sample(rng)
+	r.Rank = g.rankSamp.Sample(rng)
+	r.Chip = g.chipSamp.Sample(rng)
+	r.Start, r.End = start, end
+	r.Gran, r.Transient = cls.Gran, cls.Transient
+	if g.withRanges {
+		r.Range = g.randomRange(rng, cls)
 	}
 	if cls.Gran == dram.GranWord && cfg.OnDie {
-		base.Silent = rng.Bernoulli(cfg.SilentWordFraction)
+		r.Silent = rng.Bernoulli(cfg.SilentWordFraction)
 	}
-	if cls.Gran == dram.GranBit && cfg.OnDie && cfg.ScalingRate > 0 {
-		// Probability the struck word already holds a weak cell among
-		// its other 71 bits.
-		p := 1 - math.Pow(1-cfg.ScalingRate, 71)
-		base.EscalatedByScaling = rng.Bernoulli(p)
+	if cls.Gran == dram.GranBit && g.escalateProb > 0 {
+		r.EscalatedByScaling = rng.Bernoulli(g.escalateProb)
 	}
 	if cls.Gran == dram.GranChip {
 		// Multi-rank event: same chip position in every rank of the
 		// DIMM.
 		g.nextEvent++
-		base.EventID = g.nextEvent
-		for r := 0; r < cfg.RanksPerChannel; r++ {
-			rec := base
-			rec.Rank = r
-			buf = append(buf, rec)
+		r.EventID = g.nextEvent
+		r.Rank = 0
+		for rank := 1; rank < cfg.RanksPerChannel; rank++ {
+			buf = append(buf, buf[len(buf)-rank])
+			buf[len(buf)-1].Rank = rank
 		}
 		return buf
 	}
-	return append(buf, base)
+	return buf
 }
 
 // randomRange draws the symbolic address range for the fault.
@@ -171,27 +275,27 @@ func (g *generator) randomRange(rng *simrand.Source, cls ClassRate) dram.Fault {
 	seed := rng.Uint64()
 	switch cls.Gran {
 	case dram.GranBit:
-		a := dram.WordAddr{Bank: rng.Intn(geom.Banks), Row: rng.Intn(geom.RowsPerBank), Col: rng.Intn(geom.ColsPerRow)}
-		return dram.NewBitFault(a, rng.Intn(72), cls.Transient)
+		a := dram.WordAddr{Bank: g.bankSamp.Sample(rng), Row: g.rowSamp.Sample(rng), Col: g.colSamp.Sample(rng)}
+		return dram.NewBitFault(a, g.bitSamp.Sample(rng), cls.Transient)
 	case dram.GranWord:
-		a := dram.WordAddr{Bank: rng.Intn(geom.Banks), Row: rng.Intn(geom.RowsPerBank), Col: rng.Intn(geom.ColsPerRow)}
+		a := dram.WordAddr{Bank: g.bankSamp.Sample(rng), Row: g.rowSamp.Sample(rng), Col: g.colSamp.Sample(rng)}
 		mask := rng.Uint64()
 		if mask == 0 {
 			mask = 3
 		}
 		return dram.NewWordFault(a, mask, uint8(rng.Uint64()), cls.Transient)
 	case dram.GranColumn:
-		return dram.NewColumnFault(rng.Intn(geom.Banks), rng.Intn(geom.ColsPerRow), cls.Transient, seed)
+		return dram.NewColumnFault(g.bankSamp.Sample(rng), g.colSamp.Sample(rng), cls.Transient, seed)
 	case dram.GranRow:
-		return dram.NewRowFault(rng.Intn(geom.Banks), rng.Intn(geom.RowsPerBank), cls.Transient, seed)
+		return dram.NewRowFault(g.bankSamp.Sample(rng), g.rowSamp.Sample(rng), cls.Transient, seed)
 	case dram.GranBank:
-		return dram.NewBankFault(rng.Intn(geom.Banks), cls.Transient, seed)
+		return dram.NewBankFault(g.bankSamp.Sample(rng), cls.Transient, seed)
 	case dram.GranMultiBank:
 		// Two to all banks of the chip.
 		n := 2 + rng.Intn(geom.Banks-1)
 		var mask uint64
 		for i := 0; i < n; i++ {
-			mask |= 1 << uint(rng.Intn(geom.Banks))
+			mask |= 1 << uint(g.bankSamp.Sample(rng))
 		}
 		return dram.NewMultiBankFault(mask, cls.Transient, seed)
 	default: // GranChip / multi-rank

@@ -46,8 +46,20 @@ func (s *domainScheme) FailTime(cfg *Config, faults []FaultRecord) float64 {
 	return t
 }
 
+// chipKey identifies one chip of the fleet in the reference probe's
+// visited-set map. (Hoisted to package scope; a type declaration inside the
+// probe loop obscured that it is loop-invariant.)
+type chipKey struct{ ch, rank, chip int }
+
 // FailTimeKind implements KindedScheme: the earliest failure instant plus
 // its DUE/SDC classification.
+//
+// This is the REFERENCE implementation: a direct O(n²) transcription of the
+// probe semantics, kept for clarity and as the oracle for
+// TestEvaluatorMatchesReferenceProbe. The Monte-Carlo campaign (Run,
+// Trace.Judge) evaluates trials through the pre-indexed Evaluator instead,
+// which returns bit-identical results without the per-record map
+// allocation.
 func (s *domainScheme) FailTimeKind(cfg *Config, faults []FaultRecord) (float64, FailKind) {
 	// Without On-Die ECC, birthtime scaling faults saturate every
 	// scheme immediately: at 10^-4 per bit, codewords with multi-bit
@@ -90,7 +102,6 @@ func (s *domainScheme) FailTimeKind(cfg *Config, faults []FaultRecord) (float64,
 		if isSilentRecord(r) {
 			silent = 1
 		}
-		type chipKey struct{ ch, rank, chip int }
 		seen := map[chipKey]int{{r.Channel, r.Rank, r.Chip}: w}
 		for j := range faults {
 			o := &faults[j]

@@ -67,20 +67,26 @@ func (tr *Trace) Judge(schemes []Scheme) (*Report, error) {
 	years := int(tr.Config.LifetimeHours/HoursPerYear + 0.999999)
 	rep := &Report{Config: tr.Config, Trials: uint64(len(tr.Trials)), Years: years}
 	for _, scheme := range schemes {
-		res := Result{SchemeName: scheme.Name(), Trials: uint64(len(tr.Trials)), FailuresByYear: make([]uint64, years)}
-		for _, faults := range tr.Trials {
-			var ft float64
-			kind := FailNone
-			if ks, ok := scheme.(KindedScheme); ok {
-				ft, kind = ks.FailTimeKind(&tr.Config, faults)
-			} else {
-				ft = scheme.FailTime(&tr.Config, faults)
-			}
+		rep.Results = append(rep.Results, Result{
+			SchemeName:     scheme.Name(),
+			Trials:         uint64(len(tr.Trials)),
+			FailuresByYear: make([]uint64, years),
+		})
+	}
+	// Trial-major with the pre-indexed Evaluator: one scheme sweep per
+	// recorded trial, all scratch reused.
+	ev := NewEvaluator(&tr.Config, schemes)
+	var outs []TrialOutcome
+	for _, faults := range tr.Trials {
+		outs = ev.EvaluateInto(faults, outs)
+		for s := range outs {
+			ft := outs[s].FailTime
 			if ft > tr.Config.LifetimeHours {
 				continue
 			}
+			res := &rep.Results[s]
 			res.Failures++
-			switch kind {
+			switch outs[s].Kind {
 			case FailDUE:
 				res.DUEs++
 			case FailSDC:
@@ -94,7 +100,6 @@ func (tr *Trace) Judge(schemes []Scheme) (*Report, error) {
 				res.FailuresByYear[y]++
 			}
 		}
-		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
 }

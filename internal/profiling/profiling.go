@@ -1,0 +1,76 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the command-line tools so hot paths can be inspected with `go tool
+// pprof` without recompiling. It is a thin veneer over runtime/pprof: the
+// CPU profile covers Start..Stop, and the heap profile is a post-GC
+// snapshot taken at Stop (in-use allocations, the number that matters for
+// the simulator's steady-state footprint).
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from the command line.
+type Flags struct {
+	cpuProfile string
+	memProfile string
+	cpuFile    *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on fs (use
+// flag.CommandLine for a main package) and returns the handle to
+// Start/Stop around the program's work.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a CPU profile to `file` (inspect with go tool pprof)")
+	fs.StringVar(&f.memProfile, "memprofile", "", "write a post-GC heap profile to `file` at exit")
+	return f
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after
+// flag parsing and before the workload.
+func (f *Flags) Start() error {
+	if f.cpuProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpuProfile)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, as
+// requested. Safe to call when neither flag was given.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.memProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.memProfile)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer file.Close()
+	runtime.GC() // report live objects, not transient garbage
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

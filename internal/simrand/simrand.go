@@ -170,6 +170,308 @@ func (s *Source) poissonPTRS(mean float64) int {
 	}
 }
 
+// PoissonSampler draws Poisson variates for one fixed mean with the
+// per-mean constants (exp(-mean), PTRS coefficients) computed once. The
+// Monte-Carlo fault generator draws one Poisson variate per trial at a
+// constant mean, and math.Exp(-mean) inside Poisson was ~25% of the whole
+// campaign's CPU time before this was hoisted.
+type PoissonSampler struct {
+	mean       float64
+	expNegMean float64 // e^-mean; also P(N == 0)
+	small      bool
+	// PTRS constants (mean >= 30 path).
+	b, a, invAlpha, vr, logMean float64
+	// skipPow[k] = (e^-mean)^k: geometric-inversion thresholds for
+	// SkipZeros. A table scan replaces a ~50ns math.Log for all but the
+	// q^32 tail of runs.
+	skipPow [skipPowLen]float64
+}
+
+const skipPowLen = 33
+
+// NewPoissonSampler precomputes the sampling constants for the given mean.
+func NewPoissonSampler(mean float64) PoissonSampler {
+	p := PoissonSampler{mean: mean}
+	if mean <= 0 {
+		p.expNegMean = 1
+		p.small = true
+		return p
+	}
+	p.expNegMean = math.Exp(-mean)
+	p.skipPow[0] = 1
+	for k := 1; k < skipPowLen; k++ {
+		p.skipPow[k] = p.skipPow[k-1] * p.expNegMean
+	}
+	if mean < 30 {
+		p.small = true
+		return p
+	}
+	p.b = 0.931 + 2.53*math.Sqrt(mean)
+	p.a = -0.059 + 0.02483*p.b
+	p.invAlpha = 1.1239 + 1.1328/(p.b-3.4)
+	p.vr = 0.9277 - 3.6224/(p.b-2)
+	p.logMean = math.Log(mean)
+	return p
+}
+
+// Mean returns the sampler's mean.
+func (p *PoissonSampler) Mean() float64 { return p.mean }
+
+// PZero returns P(N == 0) = e^-mean.
+func (p *PoissonSampler) PZero() float64 { return p.expNegMean }
+
+// Sample draws one variate. It consumes the same uniforms in the same
+// order as Source.Poisson(mean), so switching call sites preserves streams.
+func (p *PoissonSampler) Sample(s *Source) int {
+	if p.mean <= 0 {
+		return 0
+	}
+	if p.small {
+		k := 0
+		prod := 1.0
+		for {
+			prod *= s.Float64()
+			if prod <= p.expNegMean {
+				return k
+			}
+			k++
+		}
+	}
+	return p.samplePTRS(s)
+}
+
+func (p *PoissonSampler) samplePTRS(s *Source) int {
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*p.a/us+p.b)*u + p.mean + 0.43)
+		if us >= 0.07 && v <= p.vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*p.invAlpha/(p.a/(us*us)+p.b)) <= k*p.logMean-p.mean-lg {
+			return int(k)
+		}
+	}
+}
+
+// NextPositive returns (skipped, n): the length of the run of consecutive
+// zero variates preceding the next positive one, and that variate. It is
+// how the Monte-Carlo campaign loop consumes the trial-count stream — a
+// zero-fault trial needs no evaluation, so the caller accounts `skipped`
+// survivors wholesale. Zeros cost one uniform each (the first Knuth draw
+// decides emptiness), except at minuscule means where a log-inversion
+// geometric jumps the whole run at once.
+func (p *PoissonSampler) NextPositive(s *Source) (skipped, n int) {
+	if p.mean <= 0 {
+		panic("simrand: NextPositive with non-positive mean")
+	}
+	if !p.small {
+		// Zeros occur with probability ~e^-30: just loop.
+		for {
+			if n = p.Sample(s); n > 0 {
+				return skipped, n
+			}
+			skipped++
+		}
+	}
+	if p.mean < 1e-3 {
+		// Zero runs average >1000 trials: jump them in one draw.
+		return p.SkipZeros(s), p.SamplePositive(s)
+	}
+	l := p.expNegMean
+	for {
+		u := s.Float64()
+		if u > l {
+			// Non-empty: continue the Knuth product from prod=u, k=1.
+			n = 1
+			prod := u
+			for {
+				prod *= s.Float64()
+				if prod <= l {
+					return skipped, n
+				}
+				n++
+			}
+		}
+		skipped++
+	}
+}
+
+// SamplePositive draws a zero-truncated Poisson variate (N >= 1) by
+// inversion on the truncated CDF. Together with SkipZeros it decomposes the
+// i.i.d. Poisson trial sequence exactly: a geometric run of N==0 trials
+// followed by one N>=1 trial, without spending any uniforms on the zeros.
+func (p *PoissonSampler) SamplePositive(s *Source) int {
+	if p.mean <= 0 {
+		panic("simrand: SamplePositive with non-positive mean")
+	}
+	if !p.small {
+		// Truncation is a no-op correction at large means (P(0) ~ e^-30);
+		// rejection terminates almost immediately.
+		for {
+			if k := p.samplePTRS(s); k >= 1 {
+				return k
+			}
+		}
+	}
+	u := s.Float64() * (1 - p.expNegMean)
+	k := 1
+	pk := p.mean * p.expNegMean // P(N == 1)
+	for {
+		u -= pk
+		if u < 0 || pk == 0 {
+			return k
+		}
+		k++
+		pk *= p.mean / float64(k)
+	}
+}
+
+// SkipZeros returns a Geometric(1 - e^-mean) variate: how many consecutive
+// trials draw N == 0 before the next N >= 1 trial. Exact inversion — skip k
+// iff q^(k+1) <= u < q^k for q = P(N==0) — resolved against the
+// precomputed power table, falling back to a logarithm only for the q^32
+// run-length tail. Costs one uniform.
+func (p *PoissonSampler) SkipZeros(s *Source) int {
+	if p.mean <= 0 {
+		panic("simrand: SkipZeros with non-positive mean")
+	}
+	u := s.Float64()
+	if u >= p.skipPow[1] {
+		return 0
+	}
+	if u >= p.skipPow[skipPowLen-1] {
+		k := 1
+		for u < p.skipPow[k+1] {
+			k++
+		}
+		return k
+	}
+	if u <= 0 {
+		return 1 << 62 // P = 2^-53: treat as an endless zero run
+	}
+	// floor(log(u)/log(q)) = floor(log(u)/-mean).
+	v := math.Log(u) / -p.mean
+	if v >= 1<<62 {
+		return 1 << 62 // clamp: float→int overflow at minuscule means
+	}
+	return int(v)
+}
+
+// IntnSampler draws uniform ints in [0, n) with the Lemire rejection
+// threshold (a 64-bit division) computed once instead of per draw.
+type IntnSampler struct {
+	n         uint64
+	mask      uint64 // n-1 when n is a power of two, else 0
+	threshold uint64
+}
+
+// NewIntnSampler precomputes the rejection threshold for Intn(n).
+func NewIntnSampler(n int) IntnSampler {
+	if n <= 0 {
+		panic("simrand: IntnSampler with non-positive n")
+	}
+	un := uint64(n)
+	if un&(un-1) == 0 {
+		return IntnSampler{n: un, mask: un - 1}
+	}
+	return IntnSampler{n: un, threshold: -un % un}
+}
+
+// Sample draws one int. It consumes the same uniforms in the same order as
+// Source.Intn(n).
+func (g *IntnSampler) Sample(s *Source) int {
+	if g.mask != 0 || g.n == 1 {
+		return int(s.Uint64() & g.mask)
+	}
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, g.n)
+		if lo >= g.threshold {
+			return int(hi)
+		}
+	}
+}
+
+// WeightedSampler draws category indices proportionally to a fixed weight
+// vector in O(1) per draw via Walker/Vose alias tables — one uniform, one
+// comparison — replacing the linear cumulative scan the fault generator
+// used per emitted record.
+type WeightedSampler struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewWeightedSampler builds the alias table (Vose's algorithm) for the
+// given non-negative weights. It panics if no weight is positive.
+func NewWeightedSampler(weights []float64) WeightedSampler {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("simrand: negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("simrand: no positive weight")
+	}
+	ws := WeightedSampler{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		ws.prob[s] = scaled[s]
+		ws.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers land on probability 1.
+	for _, i := range large {
+		ws.prob[i] = 1
+		ws.alias[i] = i
+	}
+	for _, i := range small {
+		ws.prob[i] = 1
+		ws.alias[i] = i
+	}
+	return ws
+}
+
+// Sample draws one index. It costs exactly one uniform.
+func (w *WeightedSampler) Sample(s *Source) int {
+	u := s.Float64() * float64(len(w.prob))
+	i := int(u)
+	if i >= len(w.prob) {
+		i = len(w.prob) - 1
+	}
+	if u-float64(i) < w.prob[i] {
+		return i
+	}
+	return int(w.alias[i])
+}
+
 // Bernoulli returns true with probability p.
 func (s *Source) Bernoulli(p float64) bool {
 	if p <= 0 {
