@@ -8,6 +8,7 @@
 package xedsim_test
 
 import (
+	"context"
 	"testing"
 
 	"xedsim/internal/analysis"
@@ -197,7 +198,7 @@ func BenchmarkFig11ExecutionTime(b *testing.B) {
 	ws := fig11Workloads(b)
 	var cmp *memsim.Comparison
 	for i := 0; i < b.N; i++ {
-		cmp = memsim.RunComparison(ws, schemes, 60_000, uint64(i)+11, 0)
+		cmp, _ = memsim.RunComparison(context.Background(), ws, schemes, 60_000, uint64(i)+11, 0)
 	}
 	b.ReportMetric(cmp.GmeanTime(1), "xed-norm-time")
 	b.ReportMetric(cmp.GmeanTime(2), "chipkill-norm-time")
@@ -214,7 +215,7 @@ func BenchmarkFig12MemoryPower(b *testing.B) {
 	ws := fig11Workloads(b)
 	var cmp *memsim.Comparison
 	for i := 0; i < b.N; i++ {
-		cmp = memsim.RunComparison(ws, schemes, 60_000, uint64(i)+12, 0)
+		cmp, _ = memsim.RunComparison(context.Background(), ws, schemes, 60_000, uint64(i)+12, 0)
 	}
 	b.ReportMetric(cmp.GmeanPower(1), "xed-norm-power")
 	b.ReportMetric(cmp.GmeanPower(2), "chipkill-norm-power")
@@ -231,7 +232,7 @@ func BenchmarkFig13Alternatives(b *testing.B) {
 	ws := fig11Workloads(b)
 	var cmp *memsim.Comparison
 	for i := 0; i < b.N; i++ {
-		cmp = memsim.RunComparison(ws, schemes, 60_000, uint64(i)+13, 0)
+		cmp, _ = memsim.RunComparison(context.Background(), ws, schemes, 60_000, uint64(i)+13, 0)
 	}
 	b.ReportMetric(cmp.GmeanTime(2), "extraburst-norm-time")
 	b.ReportMetric(cmp.GmeanTime(3), "extratxn-norm-time")
@@ -246,7 +247,7 @@ func BenchmarkFig14LOTECC(b *testing.B) {
 	ws := fig11Workloads(b)
 	var cmp *memsim.Comparison
 	for i := 0; i < b.N; i++ {
-		cmp = memsim.RunComparison(ws, schemes, 60_000, uint64(i)+14, 0)
+		cmp, _ = memsim.RunComparison(context.Background(), ws, schemes, 60_000, uint64(i)+14, 0)
 	}
 	b.ReportMetric(cmp.GmeanTime(2)/cmp.GmeanTime(1), "lotecc-vs-xed")
 }

@@ -6,66 +6,158 @@
 //	xedfaultsim -experiment fig8   # same, with scaling faults at 1e-4
 //	xedfaultsim -experiment fig9   # Single- vs Double-Chipkill vs XED+Chipkill
 //	xedfaultsim -experiment fig10  # same, with scaling faults
+//	xedfaultsim -experiment custom -schemes "XED,Chipkill"
 //	xedfaultsim -experiment all
 //
 // Each run prints the probability-of-system-failure curve per year (the
 // figures' series) and the headline reliability ratios the paper quotes.
 // The paper simulates 1e9 systems; -systems trades precision for time.
+//
+// Long campaigns are resilient: SIGINT/SIGTERM drains the workers, prints
+// the partial results with their trial counts and confidence intervals,
+// and exits nonzero. With -checkpoint the campaign also snapshots its
+// accumulators atomically every -checkpoint-every (and on interrupt), and
+// -resume continues from the snapshot — the resumed run is bit-identical
+// to an uninterrupted one with the same seed. A snapshot records a hash of
+// the full campaign configuration and refuses to resume a different one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"xedsim/internal/faultsim"
 	"xedsim/internal/profiling"
 )
 
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedfaultsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "fig1|fig7|fig8|fig9|fig10|all")
+	experiment := flag.String("experiment", "all", "fig1|fig7|fig8|fig9|fig10|custom|all")
 	systems := flag.Int("systems", 2_000_000, "Monte-Carlo trials (systems simulated)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	scrub := flag.Float64("scrub-hours", 0, "override patrol-scrub interval (hours)")
 	overlap := flag.Bool("address-overlap", false, "require address-range intersection for compound failures (precise FaultSim criterion)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	schemeList := flag.String("schemes", "", "comma-separated scheme names for -experiment custom")
+	ckptPath := flag.String("checkpoint", "", "snapshot campaign progress to this file (single experiment only)")
+	ckptEvery := flag.Duration("checkpoint-every", faultsim.DefaultCheckpointInterval, "interval between periodic snapshots")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *systems <= 0 {
+		usageErr("-systems must be positive, got %d", *systems)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be >= 0, got %d", *workers)
+	}
+	if *ckptEvery <= 0 {
+		usageErr("-checkpoint-every must be positive, got %v", *ckptEvery)
+	}
+	switch *experiment {
+	case "all", "fig1", "fig7", "fig8", "fig9", "fig10", "custom":
+	default:
+		usageErr("unknown experiment %q", *experiment)
+	}
+	var customSchemes []faultsim.Scheme
+	if *experiment == "custom" {
+		if *schemeList == "" {
+			usageErr("-experiment custom needs -schemes (valid: %v)", faultsim.SchemeNames())
+		}
+		var err error
+		customSchemes, err = faultsim.SchemesByName(splitTrim(*schemeList)...)
+		if err != nil {
+			usageErr("%v", err)
+		}
+	} else if *schemeList != "" {
+		usageErr("-schemes only applies to -experiment custom")
+	}
+	if *ckptPath != "" && *experiment == "all" {
+		usageErr("-checkpoint covers one campaign; pick a single -experiment")
+	}
+	if *resume && *ckptPath == "" {
+		usageErr("-resume needs -checkpoint")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
 		os.Exit(1)
 	}
-	run := func(name string) {
-		if err := runExperiment(name, *systems, *seed, *scrub, *overlap, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
-			os.Exit(1)
-		}
+	opts := runOptions{
+		systems: *systems,
+		seed:    *seed,
+		scrub:   *scrub,
+		overlap: *overlap,
+		workers: *workers,
+		schemes: customSchemes,
+		campaign: faultsim.CampaignOptions{
+			CheckpointPath:     *ckptPath,
+			CheckpointInterval: *ckptEvery,
+			Resume:             *resume,
+		},
 	}
-	switch *experiment {
-	case "all":
+	var runErr error
+	if *experiment == "all" {
 		for _, name := range []string{"fig1", "fig7", "fig8", "fig9", "fig10"} {
-			run(name)
+			if runErr = runExperiment(ctx, name, opts); runErr != nil {
+				break
+			}
 			fmt.Println()
 		}
-	case "fig1", "fig7", "fig8", "fig9", "fig10":
-		run(*experiment)
-	default:
-		fmt.Fprintf(os.Stderr, "xedfaultsim: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	} else {
+		runErr = runExperiment(ctx, *experiment, opts)
 	}
 	if err := prof.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
 		os.Exit(1)
 	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", runErr)
+		os.Exit(1)
+	}
 }
 
-func runExperiment(name string, systems int, seed uint64, scrub float64, overlap bool, workers int) error {
-	cfg := faultsim.DefaultConfig()
-	if scrub > 0 {
-		cfg.ScrubIntervalHours = scrub
+func splitTrim(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
 	}
-	cfg.RequireAddressOverlap = overlap
+	return out
+}
+
+type runOptions struct {
+	systems  int
+	seed     uint64
+	scrub    float64
+	overlap  bool
+	workers  int
+	schemes  []faultsim.Scheme // custom experiment only
+	campaign faultsim.CampaignOptions
+}
+
+func runExperiment(ctx context.Context, name string, o runOptions) error {
+	cfg := faultsim.DefaultConfig()
+	if o.scrub > 0 {
+		cfg.ScrubIntervalHours = o.scrub
+	}
+	cfg.RequireAddressOverlap = o.overlap
 
 	var schemes []faultsim.Scheme
 	var title string
@@ -106,15 +198,24 @@ func runExperiment(name string, systems int, seed uint64, scrub float64, overlap
 			{"Double-Chipkill", "Chipkill"},
 			{"XED+Chipkill", "Double-Chipkill"},
 		}
+	case "custom":
+		title = "Custom campaign"
+		schemes = o.schemes
 	}
 
-	rep, err := faultsim.Run(cfg, schemes, systems, seed, workers)
-	if err != nil {
+	copts := o.campaign
+	copts.Trials = o.systems
+	copts.Seed = o.seed
+	copts.Workers = o.workers
+
+	rep, err := faultsim.RunCampaign(ctx, cfg, schemes, copts)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		return err
 	}
 	fmt.Println(title)
-	fmt.Printf("  (%d systems, %d chips each, %.0f-year lifetime, scrub %.0fh)\n",
-		systems, cfg.TotalChips(), cfg.LifetimeHours/faultsim.HoursPerYear, cfg.ScrubIntervalHours)
+	fmt.Printf("  (%d of %d systems, %d chips each, %.0f-year lifetime, scrub %.0fh)\n",
+		rep.Trials, rep.Requested, cfg.TotalChips(), cfg.LifetimeHours/faultsim.HoursPerYear, cfg.ScrubIntervalHours)
 	fmt.Printf("%-22s", "scheme \\ year")
 	for y := 1; y <= rep.Years; y++ {
 		fmt.Printf(" %9d", y)
@@ -132,6 +233,18 @@ func runExperiment(name string, systems int, seed uint64, scrub float64, overlap
 		ratio, lo, hi := rep.ImprovementCI(pair[0], pair[1])
 		fmt.Printf("  %s is %.1fx more reliable than %s (95%% CI %.1f-%.1fx)\n",
 			pair[0], ratio, pair[1], lo, hi)
+	}
+	for i := range rep.TrialErrors {
+		te := &rep.TrialErrors[i]
+		fmt.Fprintf(os.Stderr, "  voided trial %d (chunk %d, rng %v): %s\n",
+			te.Trial, te.Chunk, te.RNGState, te.PanicValue)
+	}
+	if interrupted {
+		msg := "interrupted; partial results above"
+		if copts.CheckpointPath != "" {
+			msg += ", progress saved to " + copts.CheckpointPath
+		}
+		return errors.New(msg)
 	}
 	return nil
 }

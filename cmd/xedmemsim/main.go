@@ -10,13 +10,21 @@
 // -instr sets instructions per core (the paper uses 1B Pinpoints slices;
 // the default keeps runs interactive while preserving the relative
 // orderings, which is what the figures report).
+//
+// SIGINT/SIGTERM cancels the in-flight comparison: workers drain at the
+// next cycle-batch boundary and the process exits nonzero without printing
+// a partially filled matrix.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xedsim/internal/memsim"
 	"xedsim/internal/profiling"
@@ -29,35 +37,64 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+	if *instr <= 0 {
+		fmt.Fprintf(os.Stderr, "xedmemsim: -instr must be positive, got %d\n", *instr)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "xedmemsim: -workers must be >= 0, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *experiment {
+	case "all", "fig11", "fig12", "fig13", "fig14":
+	default:
+		fmt.Fprintf(os.Stderr, "xedmemsim: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "xedmemsim: %v\n", err)
 		os.Exit(1)
 	}
+	var err error
 	switch *experiment {
 	case "all":
-		fig1112(*instr, *seed, *workers)
-		fmt.Println()
-		fig13(*instr, *seed, *workers)
-		fmt.Println()
-		fig14(*instr, *seed, *workers)
+		if err = fig1112(ctx, *instr, *seed, *workers); err == nil {
+			fmt.Println()
+			err = fig13(ctx, *instr, *seed, *workers)
+		}
+		if err == nil {
+			fmt.Println()
+			err = fig14(ctx, *instr, *seed, *workers)
+		}
 	case "fig11", "fig12":
-		fig1112(*instr, *seed, *workers)
+		err = fig1112(ctx, *instr, *seed, *workers)
 	case "fig13":
-		fig13(*instr, *seed, *workers)
+		err = fig13(ctx, *instr, *seed, *workers)
 	case "fig14":
-		fig14(*instr, *seed, *workers)
-	default:
-		fmt.Fprintf(os.Stderr, "xedmemsim: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		err = fig14(ctx, *instr, *seed, *workers)
 	}
-	if err := prof.Stop(); err != nil {
-		fmt.Fprintf(os.Stderr, "xedmemsim: %v\n", err)
+	if perr := prof.Stop(); perr != nil {
+		fmt.Fprintf(os.Stderr, "xedmemsim: %v\n", perr)
+		os.Exit(1)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "xedmemsim: interrupted; partial results discarded")
+		} else {
+			fmt.Fprintf(os.Stderr, "xedmemsim: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func fig1112(instr int64, seed uint64, workers int) {
+func fig1112(ctx context.Context, instr int64, seed uint64, workers int) error {
 	schemes := []memsim.SchemeConfig{
 		memsim.SECDEDScheme(),
 		memsim.XEDScheme(),
@@ -65,7 +102,10 @@ func fig1112(instr int64, seed uint64, workers int) {
 		memsim.XEDChipkillScheme(),
 		memsim.DoubleChipkillScheme(),
 	}
-	cmp := memsim.RunComparison(memsim.PaperWorkloads(), schemes, instr, seed, workers)
+	cmp, err := memsim.RunComparison(ctx, memsim.PaperWorkloads(), schemes, instr, seed, workers)
+	if err != nil {
+		return err
+	}
 
 	fmt.Println("Figure 11: normalised execution time (vs ECC-DIMM SECDED)")
 	printMatrix(cmp, cmp.NormalizedTime)
@@ -75,6 +115,7 @@ func fig1112(instr int64, seed uint64, workers int) {
 	printMatrix(cmp, cmp.NormalizedPower)
 	fmt.Println("paper gmeans: XED 1.00, Chipkill 0.92, Double-Chipkill 1.084")
 	fmt.Println("(our model charges the overfetched line's transfer energy; see EXPERIMENTS.md)")
+	return nil
 }
 
 func printMatrix(cmp *memsim.Comparison, metric func(w, s int) float64) {
@@ -102,8 +143,7 @@ func printMatrix(cmp *memsim.Comparison, metric func(w, s int) float64) {
 	fmt.Println()
 }
 
-func fig13(instr int64, seed uint64, workers int) {
-	fmt.Println("Figure 13: exposing On-Die ECC via extra burst / extra transaction")
+func fig13(ctx context.Context, instr int64, seed uint64, workers int) error {
 	schemes := []memsim.SchemeConfig{
 		memsim.SECDEDScheme(),
 		memsim.XEDScheme(),
@@ -113,25 +153,33 @@ func fig13(instr int64, seed uint64, workers int) {
 		memsim.ExtraBurstDoubleChipkill(),
 		memsim.ExtraTransactionDoubleChipkill(),
 	}
-	cmp := memsim.RunComparison(memsim.PaperWorkloads(), schemes, instr, seed, workers)
+	cmp, err := memsim.RunComparison(ctx, memsim.PaperWorkloads(), schemes, instr, seed, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 13: exposing On-Die ECC via extra burst / extra transaction")
 	fmt.Printf("%-42s %14s %14s\n", "scheme", "exec time", "memory power")
 	for s := 1; s < len(schemes); s++ {
 		fmt.Printf("%-42s %14.3f %14.3f\n", schemes[s].Name, cmp.GmeanTime(s), cmp.GmeanPower(s))
 	}
 	fmt.Println("paper: both alternatives cost measurably more time and power than the")
 	fmt.Println("catch-word (XED) implementations at each protection level")
+	return nil
 }
 
-func fig14(instr int64, seed uint64, workers int) {
-	fmt.Println("Figure 14: LOT-ECC (write-coalescing) vs XED, per suite")
-	fmt.Println("(plus the Multi-ECC checksum-RMW scheme of §XII-A for context)")
+func fig14(ctx context.Context, instr int64, seed uint64, workers int) error {
 	schemes := []memsim.SchemeConfig{
 		memsim.SECDEDScheme(),
 		memsim.XEDScheme(),
 		memsim.LOTECCScheme(),
 		memsim.MultiECCScheme(),
 	}
-	cmp := memsim.RunComparison(memsim.PaperWorkloads(), schemes, instr, seed, workers)
+	cmp, err := memsim.RunComparison(ctx, memsim.PaperWorkloads(), schemes, instr, seed, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 14: LOT-ECC (write-coalescing) vs XED, per suite")
+	fmt.Println("(plus the Multi-ECC checksum-RMW scheme of §XII-A for context)")
 	fmt.Printf("%-12s %12s %12s %12s\n", "suite", "XED", "LOT-ECC", "Multi-ECC")
 	for _, suite := range memsim.SuiteNames() {
 		fmt.Printf("%-12s %12.3f %12.3f %12.3f\n", suite,
@@ -139,6 +187,7 @@ func fig14(instr int64, seed uint64, workers int) {
 	}
 	fmt.Printf("%-12s %12.3f %12.3f %12.3f\n", "GMEAN", cmp.GmeanTime(1), cmp.GmeanTime(2), cmp.GmeanTime(3))
 	fmt.Printf("paper: LOT-ECC is 6.6%% slower than XED overall\n")
+	return nil
 }
 
 func logOf(v float64) float64 {

@@ -40,14 +40,28 @@ func main() {
 	passes := flag.Int("passes", 1, "test passes")
 	seed := flag.Uint64("seed", 1, "seed")
 	flag.Parse()
+	if *rows <= 0 || *banks <= 0 || *passes <= 0 {
+		fmt.Fprintf(os.Stderr, "xedmemtest: -rows, -banks and -passes must be positive\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *killChip > 8 {
+		fmt.Fprintf(os.Stderr, "xedmemtest: -kill-chip must be in 0..8 (or negative for none)\n")
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	fleet := core.NewMemorySystem(core.MemorySystemConfig{
+	fleet, err := core.NewMemorySystem(core.MemorySystemConfig{
 		Channels:         4,
 		RanksPerChannel:  2,
 		Geometry:         dram.Geometry{Banks: *banks, RowsPerBank: *rows, ColsPerRow: 128},
 		ScalingFaultRate: *scaling,
 		Seed:             *seed,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xedmemtest: %v\n", err)
+		os.Exit(2)
+	}
 	lines := fleet.Capacity() / 64
 	fmt.Printf("%s — testing %d lines (%d KB)\n", fleet, lines, fleet.Capacity()>>10)
 

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"xedsim/internal/analysis"
 	"xedsim/internal/faultsim"
@@ -22,7 +26,28 @@ func main() {
 	sweep := flag.String("sweep", "fit", "fit|scrub|scaling|silent|aging")
 	systems := flag.Int("systems", 500_000, "Monte-Carlo trials per point")
 	seed := flag.Uint64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *systems <= 0 {
+		fmt.Fprintf(os.Stderr, "xedsweep: -systems must be positive, got %d\n", *systems)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "xedsweep: -workers must be >= 0, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *sweep {
+	case "fit", "scrub", "scaling", "silent", "aging":
+	default:
+		fmt.Fprintf(os.Stderr, "xedsweep: unknown sweep %q\n", *sweep)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	schemes := []faultsim.Scheme{
 		faultsim.NewSECDED(), faultsim.NewXED(),
@@ -30,9 +55,16 @@ func main() {
 	}
 	header := "point,secded,xed,chipkill,xedchipkill,xed_due,xed_sdc"
 	row := func(label string, cfg faultsim.Config) {
-		rep, err := faultsim.Run(cfg, schemes, *systems, *seed, 0)
+		rep, err := faultsim.RunCampaign(ctx, cfg, schemes, faultsim.CampaignOptions{
+			Trials: *systems, Seed: *seed, Workers: *workers,
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xedsweep: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				// Completed rows are already printed; drop the partial one.
+				fmt.Fprintln(os.Stderr, "xedsweep: interrupted")
+			} else {
+				fmt.Fprintf(os.Stderr, "xedsweep: %v\n", err)
+			}
 			os.Exit(1)
 		}
 		xed := rep.ResultFor("XED")
@@ -98,8 +130,5 @@ func main() {
 			cfg.Aging = pr.p
 			row("aging_"+pr.name, cfg)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "xedsweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
 	}
 }

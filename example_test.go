@@ -11,10 +11,13 @@ import (
 // ExampleNewSystem shows the paper's headline capability: a whole-chip
 // failure corrected transparently by catch-words plus RAID-3 parity.
 func ExampleNewSystem() {
-	sys := xedsim.NewSystem(xedsim.Config{
+	sys, err := xedsim.NewSystem(xedsim.Config{
 		Geometry: dram.Geometry{Banks: 2, RowsPerBank: 8, ColsPerRow: 128},
 		Seed:     1,
 	})
+	if err != nil {
+		panic(err)
+	}
 	addr := dram.WordAddr{Bank: 1, Row: 3, Col: 40}
 	line := core.Line{10, 20, 30, 40, 50, 60, 70, 80}
 	sys.Write(addr, line)
@@ -28,10 +31,13 @@ func ExampleNewSystem() {
 
 // ExampleNewFleet drives the address-mapped multi-channel system.
 func ExampleNewFleet() {
-	fleet := xedsim.NewFleet(xedsim.FleetConfig{
+	fleet, err := xedsim.NewFleet(xedsim.FleetConfig{
 		Geometry: dram.Geometry{Banks: 2, RowsPerBank: 8, ColsPerRow: 128},
 		Seed:     2,
 	})
+	if err != nil {
+		panic(err)
+	}
 	line := core.Line{1, 1, 2, 3, 5, 8, 13, 21}
 	fleet.Write(0x10000, line)
 	res := fleet.Read(0x10000)

@@ -23,7 +23,7 @@ func silentPattern(v uint64) (uint64, uint8) {
 
 func main() {
 	geom := dram.Geometry{Banks: 2, RowsPerBank: 32, ColsPerRow: 128}
-	rank := dram.NewRank(9, geom, func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(9, geom, func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	ctrl := core.NewController(rank, 7, core.WithFCTEntries(4))
 
 	fill := func(bank, row int) map[int]core.Line {

@@ -27,7 +27,7 @@ func main() {
 	}
 
 	// --- Conventional Single-Chipkill: one chip OK, two chips fatal ---
-	plain := core.NewChipkillController(dram.NewRank(18, geom, code))
+	plain := core.NewChipkillController(dram.MustNewRank(18, geom, code))
 	plain.WriteBlock(addr, data)
 	plain.Rank().InjectChipFailure(4, dram.NewChipFault(false, 1))
 	got, outcome := plain.ReadBlock(addr)
@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("Chipkill, 2 failed chips: outcome=%v dataOK=%v  <- detect-only (§II-D2)\n", outcome, got == data)
 
 	// --- XED on the same hardware: two chips corrected ---
-	xed := core.NewXEDChipkillController(dram.NewRank(18, geom, code), 99)
+	xed := core.NewXEDChipkillController(dram.MustNewRank(18, geom, code), 99)
 	xed.WriteBlock(addr, data)
 	xed.Rank().InjectChipFailure(4, dram.NewChipFault(false, 1))
 	xed.Rank().InjectChipFailure(13, dram.NewChipFault(false, 2))
@@ -50,7 +50,7 @@ func main() {
 	line := core.Line{1, 2, 3, 4, 5, 6, 7, 8}
 	laddr := dram.WordAddr{Bank: 0, Row: 3, Col: 9}
 
-	basic := core.NewAlertNController(dram.NewRank(9, geom, code), false)
+	basic := core.NewAlertNController(dram.MustNewRank(9, geom, code), false)
 	basic.WriteLine(laddr, line)
 	basic.Rank().InjectChipFailure(2, dram.NewChipFault(false, 3))
 	bres := basic.ReadLine(laddr)
@@ -59,7 +59,7 @@ func main() {
 	fmt.Printf("  cost: %d inter-line diagnosis runs (the pin cannot name the chip)\n",
 		basic.Stats().InterLineRuns)
 
-	ext := core.NewAlertNController(dram.NewRank(9, geom, code), true)
+	ext := core.NewAlertNController(dram.MustNewRank(9, geom, code), true)
 	ext.WriteLine(laddr, line)
 	ext.Rank().InjectChipFailure(2, dram.NewChipFault(false, 3))
 	eres := ext.ReadLine(laddr)

@@ -15,10 +15,13 @@ import (
 func main() {
 	// A 9-chip ECC-DIMM with CRC8-ATM On-Die ECC, XED enabled. The
 	// small geometry keeps the functional model snappy.
-	sys := xedsim.NewSystem(xedsim.Config{
+	sys, err := xedsim.NewSystem(xedsim.Config{
 		Geometry: dram.Geometry{Banks: 4, RowsPerBank: 64, ColsPerRow: 128},
 		Seed:     2024,
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	// Write a few cache lines.
 	lines := map[dram.WordAddr]core.Line{}

@@ -1,0 +1,128 @@
+// Package checkpoint provides atomic, versioned, config-hash-guarded
+// snapshot files for long-running campaigns.
+//
+// A snapshot is a single JSON envelope carrying a magic marker, a payload
+// kind, a format version, a hash of the producing configuration and the
+// payload itself. Writes are atomic (write-temp + fsync + rename in the
+// destination directory), so a crash or kill mid-save leaves either the
+// previous snapshot or the new one, never a torn file. Loads refuse
+// envelopes whose kind, version or config hash do not match what the
+// caller expects, which is what prevents resuming a campaign against a
+// different configuration and silently blending incompatible statistics.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Magic marks every snapshot file this package writes.
+const Magic = "xedsim-checkpoint"
+
+// Envelope is the on-disk frame of a snapshot.
+type Envelope struct {
+	Magic      string          `json:"magic"`
+	Kind       string          `json:"kind"`
+	Version    int             `json:"version"`
+	ConfigHash string          `json:"config_hash"`
+	Payload    json.RawMessage `json:"payload"`
+}
+
+// Sentinel errors; callers match with errors.Is.
+var (
+	ErrNotCheckpoint   = errors.New("checkpoint: not a checkpoint file")
+	ErrKindMismatch    = errors.New("checkpoint: payload kind mismatch")
+	ErrVersionMismatch = errors.New("checkpoint: format version mismatch")
+	ErrConfigMismatch  = errors.New("checkpoint: config hash mismatch")
+)
+
+// Hash returns the hex SHA-256 of v's canonical JSON encoding. Campaigns
+// hash their full configuration (config struct, scheme names, trial count,
+// seed, chunk layout) so that a snapshot can only be resumed by the exact
+// run shape that produced it.
+func Hash(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Save atomically writes payload under the given kind/version/configHash to
+// path. The temp file lives in path's directory so the rename cannot cross
+// filesystems.
+func Save(path, kind string, version int, configHash string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding payload: %w", err)
+	}
+	env, err := json.Marshal(Envelope{
+		Magic:      Magic,
+		Kind:       kind,
+		Version:    version,
+		ConfigHash: configHash,
+		Payload:    raw,
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding envelope: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the snapshot at path, validates its envelope against the
+// expected kind, version and config hash, and unmarshals the payload into
+// `into`. A missing file surfaces as os.ErrNotExist; mismatches surface as
+// the package's sentinel errors.
+func Load(path, kind string, version int, configHash string, into any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrNotCheckpoint, path, err)
+	}
+	if env.Magic != Magic {
+		return fmt.Errorf("%w: %s", ErrNotCheckpoint, path)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("%w: %s holds %q, want %q", ErrKindMismatch, path, env.Kind, kind)
+	}
+	if env.Version != version {
+		return fmt.Errorf("%w: %s is v%d, want v%d", ErrVersionMismatch, path, env.Version, version)
+	}
+	if env.ConfigHash != configHash {
+		return fmt.Errorf("%w: %s was produced by a different configuration", ErrConfigMismatch, path)
+	}
+	if err := json.Unmarshal(env.Payload, into); err != nil {
+		return fmt.Errorf("checkpoint: decoding %s payload: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Label  string   `json:"label"`
+	Counts []uint64 `json:"counts"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	hash, err := Hash(map[string]int{"trials": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Label: "xed", Counts: []uint64{1, 2, 3}}
+	if err := Save(path, "test-kind", 2, hash, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test-kind", 2, hash, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Label != in.Label || len(out.Counts) != 3 || out.Counts[2] != 3 {
+		t.Fatalf("round trip mangled payload: %+v", out)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	for i := 0; i < 3; i++ {
+		in := payload{Label: "v", Counts: []uint64{uint64(i)}}
+		if err := Save(path, "k", 1, "h", &in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out payload
+	if err := Load(path, "k", 1, "h", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Counts[0] != 2 {
+		t.Fatalf("latest save not visible: %+v", out)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stale temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var out payload
+	err := Load(filepath.Join(t.TempDir(), "absent.json"), "k", 1, "h", &out)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := Save(path, "kind-a", 3, "hash-a", &payload{}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "kind-b", 3, "hash-a", &out); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("kind: err = %v", err)
+	}
+	if err := Load(path, "kind-a", 4, "hash-a", &out); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("version: err = %v", err)
+	}
+	if err := Load(path, "kind-a", 3, "hash-b", &out); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("hash: err = %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	var out payload
+
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(junk, "k", 1, "h", &out); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("junk: err = %v", err)
+	}
+
+	// Valid JSON, wrong magic.
+	impostor := filepath.Join(dir, "impostor")
+	if err := os.WriteFile(impostor, []byte(`{"magic":"something-else","kind":"k","version":1,"config_hash":"h","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(impostor, "k", 1, "h", &out); !errors.Is(err, ErrNotCheckpoint) {
+		t.Fatalf("impostor: err = %v", err)
+	}
+}
+
+func TestHashIsStableAndDiscriminating(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	h1, err := Hash(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := Hash(cfg{1, "x"})
+	h3, _ := Hash(cfg{2, "x"})
+	if h1 != h2 {
+		t.Fatal("hash of equal values differs")
+	}
+	if h1 == h3 {
+		t.Fatal("hash of different values collides")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex sha256", h1)
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 func newAlertN(t testing.TB, extended bool) *AlertNController {
 	t.Helper()
-	rank := dram.NewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	return NewAlertNController(rank, extended)
 }
 
@@ -138,7 +138,7 @@ func TestBasicAlertNSilentTransientIsDUE(t *testing.T) {
 }
 
 func TestAlertNNeedsNineChips(t *testing.T) {
-	rank := dram.NewRank(8, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(8, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

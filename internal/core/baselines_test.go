@@ -10,7 +10,7 @@ import (
 
 func newECCDIMM(t testing.TB) *ECCDIMMController {
 	t.Helper()
-	rank := dram.NewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	return NewECCDIMMController(rank)
 }
 
@@ -84,7 +84,7 @@ func TestECCDIMMDetectsSmallMultiBitDamage(t *testing.T) {
 
 func newPlainChipkill(t testing.TB) *ChipkillController {
 	t.Helper()
-	rank := dram.NewRank(ChipkillChips, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(ChipkillChips, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	return NewChipkillController(rank)
 }
 
@@ -120,7 +120,7 @@ func TestChipkillTwoChipFailuresNotCorrected(t *testing.T) {
 
 func newDoubleChipkill(t testing.TB) *DoubleChipkillController {
 	t.Helper()
-	rank := dram.NewRank(DoubleChipkillChips, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(DoubleChipkillChips, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	return NewDoubleChipkillController(rank)
 }
 
@@ -165,7 +165,7 @@ func TestDoubleChipkillThreeChipFailuresNotCorrected(t *testing.T) {
 }
 
 func TestBaselineConstructorsValidateChipCount(t *testing.T) {
-	bad := dram.NewRank(10, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	bad := dram.MustNewRank(10, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	assertPanics := func(name string, fn func()) {
 		defer func() {
 			if recover() == nil {

@@ -13,7 +13,7 @@ func testGeom() dram.Geometry { return dram.Geometry{Banks: 4, RowsPerBank: 32, 
 
 func newXED(t testing.TB, opts ...Option) *Controller {
 	t.Helper()
-	rank := dram.NewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	return NewController(rank, 0xdead, opts...)
 }
 
@@ -336,7 +336,7 @@ func TestXEDColumnFailureSaturatesFCT(t *testing.T) {
 }
 
 func TestXEDNeedsNineChips(t *testing.T) {
-	rank := dram.NewRank(8, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(8, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for 8-chip rank")
@@ -392,7 +392,7 @@ func TestInterLineThresholdAblation(t *testing.T) {
 	// over-strict 40% threshold diagnosis fails and the read becomes a
 	// DUE.
 	build := func(opts ...Option) (*Controller, dram.WordAddr, Line) {
-		rank := dram.NewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+		rank := dram.MustNewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 		c := NewController(rank, 0xabc, opts...)
 		rng := simrand.New(90)
 		victim := dram.WordAddr{Bank: 1, Row: 6, Col: 77}

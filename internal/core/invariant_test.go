@@ -20,7 +20,7 @@ func TestXEDNeverSilentlyWrongSingleFaultyChip(t *testing.T) {
 	geom := dram.Geometry{Banks: 2, RowsPerBank: 16, ColsPerRow: 128}
 
 	for trial := 0; trial < 120; trial++ {
-		rank := dram.NewRank(9, geom, func() ecc.Code64 { return ecc.NewCRC8ATM() })
+		rank := dram.MustNewRank(9, geom, func() ecc.Code64 { return ecc.NewCRC8ATM() })
 		ctrl := NewController(rank, rng.Uint64())
 
 		// Scaling faults on every chip at an exaggerated rate.
@@ -104,7 +104,7 @@ func TestXEDChipkillNeverSilentlyWrongTwoFaultyChips(t *testing.T) {
 	geom := dram.Geometry{Banks: 2, RowsPerBank: 8, ColsPerRow: 32}
 
 	for trial := 0; trial < 80; trial++ {
-		rank := dram.NewRank(18, geom, func() ecc.Code64 { return ecc.NewCRC8ATM() })
+		rank := dram.MustNewRank(18, geom, func() ecc.Code64 { return ecc.NewCRC8ATM() })
 		ctrl := NewXEDChipkillController(rank, rng.Uint64())
 
 		type entry struct {

@@ -30,18 +30,25 @@ type MemorySystemConfig struct {
 	Seed             uint64
 }
 
-// NewMemorySystem builds the fleet with per-rank XED controllers.
-func NewMemorySystem(cfg MemorySystemConfig) *MemorySystem {
+// NewMemorySystem builds the fleet with per-rank XED controllers. It
+// rejects invalid fleet shapes and geometries with an error.
+func NewMemorySystem(cfg MemorySystemConfig) (*MemorySystem, error) {
 	if cfg.Code == nil {
 		cfg.Code = func() ecc.Code64 { return ecc.NewCRC8ATM() }
 	}
-	mapper := dram.NewMapper(cfg.Channels, cfg.RanksPerChannel, cfg.Geometry)
+	mapper, err := dram.NewMapper(cfg.Channels, cfg.RanksPerChannel, cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
 	rng := simrand.New(cfg.Seed ^ 0x5347)
 	m := &MemorySystem{mapper: mapper}
 	for ch := 0; ch < cfg.Channels; ch++ {
 		var row []*Controller
 		for rk := 0; rk < cfg.RanksPerChannel; rk++ {
-			rank := dram.NewRank(DataChips+1, cfg.Geometry, cfg.Code)
+			rank, err := dram.NewRank(DataChips+1, cfg.Geometry, cfg.Code)
+			if err != nil {
+				return nil, err
+			}
 			if cfg.ScalingFaultRate > 0 {
 				for i := 0; i < rank.Chips(); i++ {
 					rank.Chip(i).SetScaling(dram.ScalingProfile{
@@ -54,7 +61,7 @@ func NewMemorySystem(cfg MemorySystemConfig) *MemorySystem {
 		}
 		m.ctrls = append(m.ctrls, row)
 	}
-	return m
+	return m, nil
 }
 
 // Capacity returns the data capacity in bytes.

@@ -10,13 +10,17 @@ import (
 
 func smallFleet(t testing.TB, scaling float64) *MemorySystem {
 	t.Helper()
-	return NewMemorySystem(MemorySystemConfig{
+	m, err := NewMemorySystem(MemorySystemConfig{
 		Channels:         4,
 		RanksPerChannel:  2,
 		Geometry:         dram.Geometry{Banks: 2, RowsPerBank: 8, ColsPerRow: 128},
 		ScalingFaultRate: scaling,
 		Seed:             17,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func TestMemorySystemCapacityAndString(t *testing.T) {
@@ -83,7 +87,7 @@ func TestMemorySystemChipFailureScopedToRank(t *testing.T) {
 }
 
 func TestAddressMapperInverse(t *testing.T) {
-	m := dram.NewMapper(4, 2, dram.Geometry{Banks: 8, RowsPerBank: 64, ColsPerRow: 128})
+	m := dram.MustNewMapper(4, 2, dram.Geometry{Banks: 8, RowsPerBank: 64, ColsPerRow: 128})
 	f := func(raw uint64) bool {
 		phys := (raw % m.Lines()) << 6
 		loc := m.Decompose(phys)
@@ -97,7 +101,7 @@ func TestAddressMapperInverse(t *testing.T) {
 func TestAddressMapperChannelInterleave(t *testing.T) {
 	// Consecutive cache lines land on consecutive channels — the
 	// stream-friendly interleave of the Table V system.
-	m := dram.NewMapper(4, 2, dram.Geometry{Banks: 8, RowsPerBank: 64, ColsPerRow: 128})
+	m := dram.MustNewMapper(4, 2, dram.Geometry{Banks: 8, RowsPerBank: 64, ColsPerRow: 128})
 	for i := uint64(0); i < 16; i++ {
 		loc := m.Decompose(i << 6)
 		if loc.Channel != int(i%4) {
@@ -107,7 +111,7 @@ func TestAddressMapperChannelInterleave(t *testing.T) {
 }
 
 func TestAddressMapperCoversAllBanksAndRanks(t *testing.T) {
-	m := dram.NewMapper(2, 2, dram.Geometry{Banks: 4, RowsPerBank: 8, ColsPerRow: 4})
+	m := dram.MustNewMapper(2, 2, dram.Geometry{Banks: 4, RowsPerBank: 8, ColsPerRow: 4})
 	seen := map[[4]int]bool{}
 	for line := uint64(0); line < m.Lines(); line++ {
 		loc := m.Decompose(line << 6)
@@ -124,7 +128,7 @@ func TestAddressMapperCoversAllBanksAndRanks(t *testing.T) {
 }
 
 func TestAddressMapperBounds(t *testing.T) {
-	m := dram.NewMapper(2, 1, dram.Geometry{Banks: 2, RowsPerBank: 2, ColsPerRow: 2})
+	m := dram.MustNewMapper(2, 1, dram.Geometry{Banks: 2, RowsPerBank: 2, ColsPerRow: 2})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic beyond capacity")

@@ -10,7 +10,7 @@ import (
 
 func newXEDChipkill(t testing.TB) *XEDChipkillController {
 	t.Helper()
-	rank := dram.NewRank(ChipkillChips, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(ChipkillChips, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	return NewXEDChipkillController(rank, 0xbeef)
 }
 
@@ -143,7 +143,7 @@ func TestXEDChipkillCollision(t *testing.T) {
 }
 
 func TestXEDChipkillNeeds18Chips(t *testing.T) {
-	rank := dram.NewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	rank := dram.MustNewRank(9, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

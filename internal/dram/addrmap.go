@@ -25,20 +25,32 @@ type Location struct {
 	Addr          WordAddr
 }
 
-// NewMapper builds the default mapping for the given fleet shape.
-func NewMapper(channels, ranksPerChannel int, geom Geometry) *AddressMapper {
+// NewMapper builds the default mapping for the given fleet shape. It
+// rejects non-positive channel/rank counts and invalid geometries.
+func NewMapper(channels, ranksPerChannel int, geom Geometry) (*AddressMapper, error) {
 	if channels <= 0 || ranksPerChannel <= 0 {
-		panic("dram: mapper needs positive channel/rank counts")
+		return nil, fmt.Errorf("dram: mapper needs positive channel/rank counts, got %d/%d",
+			channels, ranksPerChannel)
 	}
 	if err := geom.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return &AddressMapper{
 		Channels:        channels,
 		RanksPerChannel: ranksPerChannel,
 		Geom:            geom,
 		XORBankHash:     true,
+	}, nil
+}
+
+// MustNewMapper is NewMapper for statically known shapes; it panics on the
+// errors NewMapper would return.
+func MustNewMapper(channels, ranksPerChannel int, geom Geometry) *AddressMapper {
+	m, err := NewMapper(channels, ranksPerChannel, geom)
+	if err != nil {
+		panic(err)
 	}
+	return m
 }
 
 // Lines returns the number of cache lines the fleet stores.

@@ -6,7 +6,7 @@ import (
 )
 
 func TestMapperRoundTripInPackage(t *testing.T) {
-	m := NewMapper(4, 2, Geometry{Banks: 8, RowsPerBank: 128, ColsPerRow: 64})
+	m := MustNewMapper(4, 2, Geometry{Banks: 8, RowsPerBank: 128, ColsPerRow: 64})
 	if m.Bytes() != m.Lines()*64 {
 		t.Fatal("bytes/lines inconsistent")
 	}
@@ -20,7 +20,7 @@ func TestMapperRoundTripInPackage(t *testing.T) {
 }
 
 func TestMapperWithoutXORHash(t *testing.T) {
-	m := NewMapper(2, 2, Geometry{Banks: 4, RowsPerBank: 16, ColsPerRow: 8})
+	m := MustNewMapper(2, 2, Geometry{Banks: 4, RowsPerBank: 16, ColsPerRow: 8})
 	m.XORBankHash = false
 	for line := uint64(0); line < m.Lines(); line += 7 {
 		phys := line << 6
@@ -31,8 +31,13 @@ func TestMapperWithoutXORHash(t *testing.T) {
 }
 
 func TestMapperConstructorValidation(t *testing.T) {
-	assertPanics(t, "channels", func() { NewMapper(0, 2, DefaultGeometry()) })
-	assertPanics(t, "geometry", func() { NewMapper(2, 2, Geometry{}) })
+	if _, err := NewMapper(0, 2, DefaultGeometry()); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewMapper(2, 2, Geometry{}); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+	assertPanics(t, "channels", func() { MustNewMapper(0, 2, DefaultGeometry()) })
 }
 
 func TestIntersectsAcrossChips(t *testing.T) {

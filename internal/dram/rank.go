@@ -18,14 +18,31 @@ type Rank struct {
 
 // NewRank builds a rank of n identical chips. The paper's configurations:
 // n=8 (Non-ECC DIMM), n=9 (ECC-DIMM / XED), n=18 (Chipkill pair),
-// n=36 (Double-Chipkill gang).
-func NewRank(n int, geom Geometry, code func() ecc.Code64) *Rank {
+// n=36 (Double-Chipkill gang). It rejects non-positive chip counts,
+// invalid geometries and nil code factories.
+func NewRank(n int, geom Geometry, code func() ecc.Code64) (*Rank, error) {
 	if n <= 0 {
-		panic("dram: rank needs at least one chip")
+		return nil, fmt.Errorf("dram: rank needs at least one chip, got %d", n)
+	}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if code == nil {
+		return nil, fmt.Errorf("dram: rank needs an on-die code factory")
 	}
 	r := &Rank{geom: geom, chips: make([]*Chip, n)}
 	for i := range r.chips {
 		r.chips[i] = NewChip(geom, code())
+	}
+	return r, nil
+}
+
+// MustNewRank is NewRank for statically known shapes; it panics on the
+// errors NewRank would return.
+func MustNewRank(n int, geom Geometry, code func() ecc.Code64) *Rank {
+	r, err := NewRank(n, geom, code)
+	if err != nil {
+		panic(err)
 	}
 	return r
 }

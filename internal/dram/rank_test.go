@@ -11,7 +11,7 @@ import (
 func ecc72(v uint64) ecc.Codeword72 { return ecc.NewCRC8ATM().Encode(v) }
 
 func newTestRank(n int) *Rank {
-	return NewRank(n, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
+	return MustNewRank(n, testGeom(), func() ecc.Code64 { return ecc.NewCRC8ATM() })
 }
 
 func TestRankLineRoundTrip(t *testing.T) {

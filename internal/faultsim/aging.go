@@ -1,5 +1,10 @@
 package faultsim
 
+import (
+	"fmt"
+	"math"
+)
+
 // Lifetime-dependent fault rates. The field data behind Table I is a
 // time-average, but real DRAM populations show a bathtub: elevated infant
 // mortality that burns in over the first months, a flat useful-life floor,
@@ -32,6 +37,21 @@ func FlatAging() AgingProfile { return AgingProfile{InfantFactor: 1, WearoutFact
 // over the first 5% of life, and 3x wear-out growth over the final 30%.
 func BathtubAging() AgingProfile {
 	return AgingProfile{InfantFactor: 5, BurnInFraction: 0.05, WearoutFactor: 3, WearoutOnset: 0.7}
+}
+
+// validate rejects profiles the thinning sampler cannot handle: NaN or
+// negative factors, and burn-in/onset fractions outside [0,1]. The zero
+// value (flat) is valid.
+func (a AgingProfile) validate() error {
+	for _, v := range [...]float64{a.InfantFactor, a.BurnInFraction, a.WearoutFactor, a.WearoutOnset} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("faultsim: invalid aging profile %+v", a)
+		}
+	}
+	if a.BurnInFraction > 1 || a.WearoutOnset > 1 {
+		return fmt.Errorf("faultsim: aging profile fractions must lie in [0,1]: %+v", a)
+	}
+	return nil
 }
 
 // enabled reports whether the profile deviates from flat.

@@ -1,0 +1,685 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xedsim/internal/checkpoint"
+	"xedsim/internal/simrand"
+)
+
+// This file is the resilient Monte-Carlo campaign engine. Run delegates to
+// it; the CLIs reach it directly through RunCampaign for cancellation,
+// checkpoint/resume and panic isolation.
+//
+// The campaign is divided into fixed-size chunks of consecutive trials, and
+// chunk c draws from simrand substream (seed, c) — see Source.SeedStream.
+// Chunks make three guarantees compose:
+//
+//   - Worker-count invariance: a chunk's trial stream is a pure function of
+//     (config, seed, chunk index), and per-scheme tallies are sums of
+//     per-chunk integers, so any scheduling of chunks over any number of
+//     workers produces bit-identical Results.
+//   - Checkpoint/resume: a snapshot is the set of completed chunks plus the
+//     accumulated tallies. Resuming re-runs exactly the missing chunks, so
+//     an interrupted+resumed campaign equals an uninterrupted one.
+//   - Panic isolation: trial evaluation (scheme code) never touches the
+//     trial RNG, so a panicking trial is caught, voided and recorded as a
+//     TrialError without desynchronising the chunk's stream; the RNG state
+//     captured at the head of the trial replays it in isolation.
+//
+// Chunk streams rather than per-trial streams are a measured tradeoff:
+// reseeding xoshiro per trial costs more than an average trial does
+// (~29ns vs ~14ns — most trials draw zero faults and are skipped
+// wholesale by the geometric fast path), which would blow the <5%
+// regression budget on the Table I campaign benchmark.
+
+// Campaign engine defaults.
+const (
+	// DefaultChunkSize is the trials-per-chunk granularity of scheduling,
+	// checkpointing and cancellation draining. A chunk is ~100µs of work.
+	DefaultChunkSize = 4096
+	// DefaultCheckpointInterval spaces periodic snapshots.
+	DefaultCheckpointInterval = 30 * time.Second
+	// DefaultErrorBudget is how many panicking trials a campaign tolerates
+	// before giving up (CampaignOptions.ErrorBudget zero value).
+	DefaultErrorBudget = 100
+)
+
+// checkpointKind and checkpointVersion frame campaign snapshots on disk.
+const (
+	checkpointKind    = "faultsim-campaign"
+	checkpointVersion = 1
+)
+
+// ErrErrorBudgetExceeded reports a campaign aborted because more trials
+// panicked than ErrorBudget tolerates.
+var ErrErrorBudgetExceeded = errors.New("faultsim: trial-error budget exceeded")
+
+// CampaignOptions parameterises RunCampaign.
+type CampaignOptions struct {
+	// Trials is the number of systems to simulate. Required.
+	Trials int
+	// Seed is the campaign seed; all trial randomness derives from it.
+	Seed uint64
+	// Workers is the goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ChunkSize is the trials-per-chunk scheduling granularity; 0 selects
+	// DefaultChunkSize. Results are deterministic for a fixed (Config,
+	// Trials, Seed, ChunkSize) regardless of Workers.
+	ChunkSize int
+	// CheckpointPath enables periodic atomic snapshots when non-empty.
+	CheckpointPath string
+	// CheckpointInterval spaces periodic snapshots; 0 selects
+	// DefaultCheckpointInterval.
+	CheckpointInterval time.Duration
+	// Resume loads CheckpointPath before starting and re-runs only the
+	// chunks it does not cover. A missing file starts fresh; a snapshot
+	// from any different configuration is refused.
+	Resume bool
+	// ErrorBudget is the maximum number of panicking trials tolerated
+	// before the campaign aborts with ErrErrorBudgetExceeded. The zero
+	// value selects DefaultErrorBudget; any negative value tolerates none.
+	ErrorBudget int
+	// OnChunk, when non-nil, observes progress after each chunk merge
+	// (and once at startup when resuming): completed and total chunk
+	// counts. It is called from worker goroutines, serialised.
+	OnChunk func(doneChunks, totalChunks int)
+}
+
+// TrialError records one panicking trial: where it was, the serialized RNG
+// state that regenerates it, the fault stream it drew, and what the panic
+// said. The campaign voids the trial (no scheme tallies it) and continues.
+type TrialError struct {
+	// Trial is the global trial index; Chunk the chunk it belongs to.
+	Trial int `json:"trial"`
+	Chunk int `json:"chunk"`
+	// RNGState is the simrand state at the head of the generate call that
+	// produced this trial — the trial's replay seed (see Replay).
+	RNGState simrand.State `json:"rng_state"`
+	// Faults is the trial's generated fault stream.
+	Faults []FaultRecord `json:"faults"`
+	// PanicValue and Stack describe the panic.
+	PanicValue string `json:"panic"`
+	Stack      string `json:"stack,omitempty"`
+}
+
+// Error implements error.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("faultsim: trial %d (chunk %d) panicked: %s", e.Trial, e.Chunk, e.PanicValue)
+}
+
+// Replay regenerates the errored trial in isolation: it restores the
+// recorded RNG state, draws the trial's fault stream with the same
+// scheme-filtered generator the campaign used, and re-evaluates it with
+// the panic contained. cfg and schemes must match the original campaign's
+// (generation is filtered by what the schemes can react to). It returns
+// the regenerated faults, the per-scheme outcomes (nil if the panic
+// recurred) and the recovered panic value (nil if it did not).
+func (e *TrialError) Replay(cfg Config, schemes []Scheme) (faults []FaultRecord, outs []TrialOutcome, panicked any, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(schemes) == 0 {
+		return nil, nil, nil, fmt.Errorf("faultsim: no schemes to evaluate")
+	}
+	rng, err := simrand.Restore(e.RNGState)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ev := NewEvaluator(&cfg, schemes)
+	gen := newRunGenerator(&cfg, ev)
+	if ev.EmptyTrialsSurvive() {
+		_, faults = gen.nextNonEmpty(rng, nil)
+	} else {
+		faults = gen.Trial(rng, nil)
+	}
+	func() {
+		defer func() { panicked = recover() }()
+		outs = append([]TrialOutcome(nil), ev.EvaluateInto(faults, nil)...)
+	}()
+	if panicked != nil {
+		outs = nil
+	}
+	return faults, outs, panicked, nil
+}
+
+// schemeAccum is one scheme's integer tallies, the unit of chunk merging
+// and of checkpoint payloads.
+type schemeAccum struct {
+	Failures uint64   `json:"failures"`
+	DUEs     uint64   `json:"dues"`
+	SDCs     uint64   `json:"sdcs"`
+	ByYear   []uint64 `json:"by_year"`
+}
+
+// campaignSnapshot is the checkpoint payload: completed-chunk bitmap plus
+// accumulated tallies. The shape parameters double as a human-readable
+// record; compatibility is enforced by the envelope's config hash.
+type campaignSnapshot struct {
+	Trials     int           `json:"trials"`
+	Seed       uint64        `json:"seed"`
+	ChunkSize  int           `json:"chunk_size"`
+	Years      int           `json:"years"`
+	Schemes    []string      `json:"schemes"`
+	DoneChunks []uint64      `json:"done_chunks"` // bitmap, chunk c at word c/64 bit c%64
+	DoneTrials uint64        `json:"done_trials"` // tallied trials (excludes errored)
+	Complete   bool          `json:"complete"`
+	Results    []schemeAccum `json:"results"`
+	Errors     []TrialError  `json:"errors,omitempty"`
+}
+
+// campaignHashInput is what the checkpoint config hash covers: everything
+// that shapes the trial streams and the meaning of the accumulators.
+type campaignHashInput struct {
+	Config    Config   `json:"config"`
+	Schemes   []string `json:"schemes"`
+	Trials    int      `json:"trials"`
+	Seed      uint64   `json:"seed"`
+	ChunkSize int      `json:"chunk_size"`
+}
+
+// engine is the shared state of one RunCampaign invocation.
+type engine struct {
+	cfg     Config
+	schemes []Scheme
+	opts    CampaignOptions
+	years   int
+	nChunks int
+	hash    string
+
+	nextChunk atomic.Int64 // work queue: chunk indices in [0, nChunks)
+
+	mu         sync.Mutex
+	doneBits   []uint64
+	doneChunks int
+	doneTrials uint64
+	accum      []schemeAccum
+	trialErrs  []TrialError
+	failed     error // first fatal engine error (budget, checkpoint I/O)
+	lastSave   time.Time
+
+	onChunkMu sync.Mutex         // serialises the OnChunk callback
+	cancel    context.CancelFunc // cancels workers on fatal engine error
+}
+
+// RunCampaign executes a resilient Monte-Carlo campaign. It honours ctx
+// cancellation by draining workers at chunk boundaries and returning the
+// partial Report alongside ctx's error; with CheckpointPath set it also
+// snapshots progress periodically and on cancellation, and Resume picks a
+// campaign back up from such a snapshot. Completed runs return a Report
+// covering exactly Trials trials (minus any panicking trials, which are
+// voided and listed in Report.TrialErrors) and a nil error.
+//
+// Results are bit-identical for a fixed (cfg, Trials, Seed, ChunkSize)
+// whatever the worker count and whether or not the run was interrupted and
+// resumed.
+func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts CampaignOptions) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Trials <= 0 {
+		return nil, fmt.Errorf("faultsim: non-positive trial count %d", opts.Trials)
+	}
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("faultsim: no schemes to evaluate")
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.CheckpointInterval <= 0 {
+		opts.CheckpointInterval = DefaultCheckpointInterval
+	}
+	switch {
+	case opts.ErrorBudget == 0:
+		opts.ErrorBudget = DefaultErrorBudget
+	case opts.ErrorBudget < 0:
+		opts.ErrorBudget = 0
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	e := &engine{
+		cfg:     cfg,
+		schemes: schemes,
+		opts:    opts,
+		years:   int(math.Ceil(cfg.LifetimeHours / HoursPerYear)),
+		nChunks: (opts.Trials + opts.ChunkSize - 1) / opts.ChunkSize,
+	}
+	if opts.CheckpointPath != "" {
+		// The config hash only guards snapshot compatibility; skip the
+		// JSON+SHA-256 work for plain in-memory campaigns (Run calls this
+		// per benchmark iteration).
+		names := make([]string, len(schemes))
+		for i, s := range schemes {
+			names[i] = s.Name()
+		}
+		var err error
+		e.hash, err = checkpoint.Hash(campaignHashInput{
+			Config: cfg, Schemes: names, Trials: opts.Trials, Seed: opts.Seed, ChunkSize: opts.ChunkSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.doneBits = make([]uint64, (e.nChunks+63)/64)
+	e.accum = make([]schemeAccum, len(schemes))
+	for i := range e.accum {
+		e.accum[i].ByYear = make([]uint64, e.years)
+	}
+	if opts.Resume && opts.CheckpointPath != "" {
+		if err := e.loadSnapshot(); err != nil {
+			return nil, err
+		}
+	}
+	e.lastSave = time.Now()
+	if opts.OnChunk != nil && e.doneChunks > 0 {
+		opts.OnChunk(e.doneChunks, e.nChunks)
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.cancel = cancel
+	if workers > e.nChunks {
+		workers = e.nChunks
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.worker(wctx)
+		}()
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sort.Slice(e.trialErrs, func(i, j int) bool { return e.trialErrs[i].Trial < e.trialErrs[j].Trial })
+	rep := e.reportLocked()
+	runErr := e.failed
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	if e.opts.CheckpointPath != "" {
+		// Final snapshot: Complete on success, the partial frontier on
+		// cancellation, so a later -resume continues (or short-circuits).
+		if err := e.saveLocked(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return rep, runErr
+}
+
+// worker pulls chunk indices until the queue drains or ctx cancels.
+func (e *engine) worker(ctx context.Context) {
+	w := newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		c := int(e.nextChunk.Add(1)) - 1
+		if c >= e.nChunks {
+			return
+		}
+		if e.chunkDone(c) {
+			continue
+		}
+		lo, hi := e.chunkBounds(c)
+		if !w.runChunk(ctx, c, lo, hi) {
+			return // cancelled mid-chunk; the chunk is not merged
+		}
+		if !e.merge(c, w) {
+			return
+		}
+	}
+}
+
+func (e *engine) chunkBounds(c int) (lo, hi int) {
+	lo = c * e.opts.ChunkSize
+	hi = lo + e.opts.ChunkSize
+	if hi > e.opts.Trials {
+		hi = e.opts.Trials
+	}
+	return lo, hi
+}
+
+// chunkDone reads the resume bitmap. Bits are only set under mu, but
+// workers may read them racily: a stale read merely re-checks under mu in
+// merge — and chunks are claimed uniquely via nextChunk anyway, so a chunk
+// marked done here was completed by a *previous* (resumed) run.
+func (e *engine) chunkDone(c int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.doneBits[c/64]&(1<<(c%64)) != 0
+}
+
+// merge folds one completed chunk into the campaign accumulator, advances
+// the checkpoint clock, and enforces the error budget. It returns false
+// when the worker should stop (fatal engine error).
+func (e *engine) merge(c int, w *campaignWorker) bool {
+	e.mu.Lock()
+	for s := range e.accum {
+		e.accum[s].Failures += w.total[s]
+		e.accum[s].DUEs += w.dues[s]
+		e.accum[s].SDCs += w.sdcs[s]
+		for y := 0; y < e.years; y++ {
+			e.accum[s].ByYear[y] += w.failures[s][y]
+		}
+	}
+	lo, hi := e.chunkBounds(c)
+	e.doneBits[c/64] |= 1 << (c % 64)
+	e.doneChunks++
+	e.doneTrials += uint64(hi-lo) - uint64(len(w.errs))
+	e.trialErrs = append(e.trialErrs, w.errs...)
+	overBudget := len(e.trialErrs) > e.opts.ErrorBudget && e.failed == nil
+	if overBudget {
+		e.failed = fmt.Errorf("%w: %d trials panicked (budget %d); first: %v",
+			ErrErrorBudgetExceeded, len(e.trialErrs), e.opts.ErrorBudget, &e.trialErrs[0])
+	}
+	done, total := e.doneChunks, e.nChunks
+	if e.opts.CheckpointPath != "" && time.Since(e.lastSave) >= e.opts.CheckpointInterval {
+		if err := e.saveLocked(); err != nil && e.failed == nil {
+			e.failed = err
+		}
+	}
+	failed := e.failed
+	e.mu.Unlock()
+
+	if e.opts.OnChunk != nil {
+		e.onChunkSerialised(done, total)
+	}
+	if failed != nil {
+		e.cancel()
+		return false
+	}
+	return true
+}
+
+// onChunkSerialised keeps the progress callback single-threaded without
+// holding the accumulator lock across user code.
+func (e *engine) onChunkSerialised(done, total int) {
+	e.onChunkMu.Lock()
+	defer e.onChunkMu.Unlock()
+	e.opts.OnChunk(done, total)
+}
+
+// saveLocked snapshots the accumulator to CheckpointPath. Caller holds mu.
+func (e *engine) saveLocked() error {
+	names := make([]string, len(e.schemes))
+	for i, s := range e.schemes {
+		names[i] = s.Name()
+	}
+	snap := campaignSnapshot{
+		Trials:     e.opts.Trials,
+		Seed:       e.opts.Seed,
+		ChunkSize:  e.opts.ChunkSize,
+		Years:      e.years,
+		Schemes:    names,
+		DoneChunks: append([]uint64(nil), e.doneBits...),
+		DoneTrials: e.doneTrials,
+		Complete:   e.doneChunks == e.nChunks,
+		Results:    e.accum,
+		Errors:     e.trialErrs,
+	}
+	sort.Slice(snap.Errors, func(i, j int) bool { return snap.Errors[i].Trial < snap.Errors[j].Trial })
+	if err := checkpoint.Save(e.opts.CheckpointPath, checkpointKind, checkpointVersion, e.hash, &snap); err != nil {
+		return err
+	}
+	e.lastSave = time.Now()
+	return nil
+}
+
+// loadSnapshot seeds the accumulator from CheckpointPath. A missing file
+// starts the campaign fresh; any mismatched snapshot is refused.
+func (e *engine) loadSnapshot() error {
+	var snap campaignSnapshot
+	err := checkpoint.Load(e.opts.CheckpointPath, checkpointKind, checkpointVersion, e.hash, &snap)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(snap.DoneChunks) != len(e.doneBits) || len(snap.Results) != len(e.accum) || snap.Years != e.years {
+		// The config hash covers everything that shapes these; reaching
+		// here means the snapshot lies about its own hash input.
+		return fmt.Errorf("%w: %s payload shape does not match its config",
+			checkpoint.ErrConfigMismatch, e.opts.CheckpointPath)
+	}
+	copy(e.doneBits, snap.DoneChunks)
+	for _, word := range e.doneBits {
+		for ; word != 0; word &= word - 1 {
+			e.doneChunks++
+		}
+	}
+	e.doneTrials = snap.DoneTrials
+	for s := range e.accum {
+		if len(snap.Results[s].ByYear) != e.years {
+			return fmt.Errorf("%w: %s payload shape does not match its config",
+				checkpoint.ErrConfigMismatch, e.opts.CheckpointPath)
+		}
+		e.accum[s] = snap.Results[s]
+	}
+	e.trialErrs = snap.Errors
+	return nil
+}
+
+// reportLocked assembles the Report from the accumulator. Caller holds mu.
+func (e *engine) reportLocked() *Report {
+	rep := &Report{
+		Config:      e.cfg,
+		Trials:      e.doneTrials,
+		Requested:   uint64(e.opts.Trials),
+		Years:       e.years,
+		TrialErrors: append([]TrialError(nil), e.trialErrs...),
+	}
+	for s, scheme := range e.schemes {
+		rep.Results = append(rep.Results, Result{
+			SchemeName:     scheme.Name(),
+			Trials:         e.doneTrials,
+			Failures:       e.accum[s].Failures,
+			DUEs:           e.accum[s].DUEs,
+			SDCs:           e.accum[s].SDCs,
+			FailuresByYear: append([]uint64(nil), e.accum[s].ByYear...),
+		})
+	}
+	return rep
+}
+
+// campaignWorker holds one goroutine's reusable trial state plus the
+// current chunk's tallies. Nothing here allocates per trial.
+type campaignWorker struct {
+	cfg   *Config
+	seed  uint64
+	years int
+	ev    *Evaluator
+	gen   *generator
+	rng   *simrand.Source
+	fast  bool
+	buf   []FaultRecord
+	outs  []TrialOutcome
+
+	chunk    int
+	failures [][]uint64 // [scheme][year] cumulative, this chunk
+	total    []uint64
+	dues     []uint64
+	sdcs     []uint64
+	errs     []TrialError
+
+	// Panic-recovery bookkeeping, written just before each evaluation so a
+	// single span-level recover (rather than a per-trial defer) can attribute
+	// the panic to the right trial. See runSpan.
+	t      int
+	st     simrand.State
+	inEval bool
+}
+
+func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int) *campaignWorker {
+	w := &campaignWorker{
+		cfg:   cfg,
+		seed:  seed,
+		years: years,
+		rng:   simrand.New(0),
+	}
+	w.ev = NewEvaluator(cfg, schemes)
+	w.gen = newRunGenerator(cfg, w.ev)
+	w.fast = w.ev.EmptyTrialsSurvive()
+	w.failures = make([][]uint64, len(schemes))
+	for s := range w.failures {
+		w.failures[s] = make([]uint64, years)
+	}
+	w.total = make([]uint64, len(schemes))
+	w.dues = make([]uint64, len(schemes))
+	w.sdcs = make([]uint64, len(schemes))
+	return w
+}
+
+// runChunk evaluates trials [lo, hi) of chunk c into the worker's tallies.
+// It returns false if ctx cancelled mid-chunk (tallies must be discarded).
+func (w *campaignWorker) runChunk(ctx context.Context, c, lo, hi int) bool {
+	w.chunk = c
+	w.errs = w.errs[:0]
+	for s := range w.total {
+		w.total[s], w.dues[s], w.sdcs[s] = 0, 0, 0
+		clear(w.failures[s])
+	}
+	// Substream (seed, c): the chunk's randomness is independent of which
+	// worker runs it and of every other chunk.
+	w.rng.SeedStream(w.seed, uint64(c))
+	w.gen.resetEvents()
+
+	for t := lo; ; {
+		switch w.runSpan(ctx, t, lo, hi) {
+		case spanDone:
+			return true
+		case spanCancelled:
+			return false
+		case spanPanicked:
+			// Trial w.t was voided and recorded; the RNG sits just past its
+			// generation draws (evaluation never draws), so the remainder of
+			// the chunk replays identically to a panic-free run.
+			t = w.t + 1
+		}
+	}
+}
+
+const (
+	spanDone = iota
+	spanCancelled
+	spanPanicked
+)
+
+// runSpan evaluates trials [t0, hi) of the current chunk, stopping early on
+// cancellation or on the first panicking trial. Panic recovery is hoisted to
+// span scope — a single defer per span instead of one per trial — because the
+// per-trial defer alone costs more than an average trial. A panic voids the
+// trial: it is recorded as a TrialError (with the pre-trial RNG state as its
+// replay seed) and excluded from every scheme's tally, and runChunk resumes
+// the span after it. Panics outside evaluation (generation is RNG-stateful,
+// so recovery there could not keep the stream deterministic) are re-raised.
+func (w *campaignWorker) runSpan(ctx context.Context, t0, lo, hi int) (status int) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if !w.inEval {
+			panic(r)
+		}
+		w.inEval = false
+		w.errs = append(w.errs, TrialError{
+			Trial:      w.t,
+			Chunk:      w.chunk,
+			RNGState:   w.st,
+			Faults:     append([]FaultRecord(nil), w.buf...),
+			PanicValue: fmt.Sprint(r),
+			Stack:      string(debug.Stack()),
+		})
+		status = spanPanicked
+	}()
+
+	// Cancellation is normally drained at chunk boundaries; the intra-chunk
+	// check only matters for outsized custom ChunkSizes.
+	const cancelCheckMask = 1<<16 - 1
+
+	// Hot-loop state lives in locals; the struct fields are written only at
+	// the pre-evaluation stash point (for the recover above) and on exit.
+	rng, gen, ev := w.rng, w.gen, w.ev
+	buf, outs := w.buf, w.outs
+	defer func() { w.buf, w.outs = buf, outs }()
+
+	if w.fast {
+		// Fast path (see Run): empty trials survive every scheme, so the
+		// generator skips their geometric runs wholesale.
+		for t := t0; t < hi; {
+			if (t-lo)&cancelCheckMask == 0 && ctx.Err() != nil {
+				return spanCancelled
+			}
+			st := rng.State()
+			skipped, rec := gen.nextNonEmpty(rng, buf)
+			buf = rec
+			if skipped >= hi-t {
+				return spanDone // rest of the chunk drew empty trials
+			}
+			t += skipped
+			if len(buf) > 0 { // aging thinning can still empty a trial
+				w.t, w.st, w.buf, w.inEval = t, st, buf, true
+				outs = ev.EvaluateInto(buf, outs)
+				w.inEval = false
+				w.outs = outs
+				w.tally()
+			}
+			t++
+		}
+		return spanDone
+	}
+	for t := t0; t < hi; t++ {
+		if (t-lo)&cancelCheckMask == 0 && ctx.Err() != nil {
+			return spanCancelled
+		}
+		st := rng.State()
+		buf = gen.Trial(rng, buf)
+		w.t, w.st, w.buf, w.inEval = t, st, buf, true
+		outs = ev.EvaluateInto(buf, outs)
+		w.inEval = false
+		w.outs = outs
+		w.tally()
+	}
+	return spanDone
+}
+
+// tally folds the current trial's outcomes into the chunk accumulators.
+func (w *campaignWorker) tally() {
+	for s := range w.outs {
+		ft := w.outs[s].FailTime
+		if math.IsInf(ft, 1) {
+			continue
+		}
+		w.total[s]++
+		switch w.outs[s].Kind {
+		case FailDUE:
+			w.dues[s]++
+		case FailSDC:
+			w.sdcs[s]++
+		}
+		yr := int(ft / HoursPerYear)
+		if yr >= w.years {
+			yr = w.years - 1
+		}
+		for y := yr; y < w.years; y++ {
+			w.failures[s][y]++
+		}
+	}
+}

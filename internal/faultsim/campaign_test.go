@@ -1,0 +1,335 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"xedsim/internal/checkpoint"
+)
+
+// campaignTestOpts is the shared shape: small enough to run in
+// milliseconds, chunked finely enough that scheduling and interruption
+// actually exercise the chunk machinery (≈40 chunks).
+func campaignTestOpts() CampaignOptions {
+	return CampaignOptions{Trials: 20_000, Seed: 99, ChunkSize: 512}
+}
+
+func mustCampaign(t *testing.T, ctx context.Context, cfg Config, schemes []Scheme, opts CampaignOptions) *Report {
+	t.Helper()
+	rep, err := RunCampaign(ctx, cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunCampaignWorkerCountInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	var reference *Report
+	for _, workers := range []int{1, 4, 16} {
+		opts := campaignTestOpts()
+		opts.Workers = workers
+		rep := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+		if reference == nil {
+			reference = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep.Results, reference.Results) {
+			t.Fatalf("workers=%d diverged from workers=1:\n%+v\nvs\n%+v",
+				workers, rep.Results, reference.Results)
+		}
+	}
+	if reference.Trials != uint64(campaignTestOpts().Trials) {
+		t.Fatalf("tallied %d of %d trials", reference.Trials, campaignTestOpts().Trials)
+	}
+}
+
+func TestRunCampaignChunkSizeChangesAreDeclared(t *testing.T) {
+	// The determinism contract fixes (cfg, Trials, Seed, ChunkSize) —
+	// ChunkSize is part of the stream layout, so changing it may change
+	// the sampled faults. This test pins the *guaranteed* half: same
+	// ChunkSize twice is bit-identical.
+	cfg := DefaultConfig()
+	a := mustCampaign(t, context.Background(), cfg, AllSchemes(), campaignTestOpts())
+	b := mustCampaign(t, context.Background(), cfg, AllSchemes(), campaignTestOpts())
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Fatal("identical campaigns diverged")
+	}
+}
+
+func TestRunCampaignCheckpointResumeBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := AllSchemes()
+	full := mustCampaign(t, context.Background(), cfg, schemes, campaignTestOpts())
+
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("interrupt randomization seed: %d", seed)
+
+	for round := 0; round < 3; round++ {
+		path := filepath.Join(t.TempDir(), "campaign.ckpt")
+		nChunks := (campaignTestOpts().Trials + campaignTestOpts().ChunkSize - 1) / campaignTestOpts().ChunkSize
+		stopAfter := 1 + rng.Intn(nChunks-2) // interrupt at a random trial count
+
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := campaignTestOpts()
+		opts.Workers = 4
+		opts.CheckpointPath = path
+		opts.CheckpointInterval = time.Nanosecond // snapshot at every merge
+		opts.OnChunk = func(done, total int) {
+			if done >= stopAfter {
+				cancel()
+			}
+		}
+		rep, err := RunCampaign(ctx, cfg, schemes, opts)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: interrupted run returned %v", round, err)
+		}
+		if rep.Trials >= rep.Requested {
+			// The cancel raced ahead of the workers and the run finished
+			// anyway; it is still a valid resume input, but the round
+			// proves nothing, so re-roll.
+			round--
+			continue
+		}
+
+		resumed := opts
+		resumed.OnChunk = nil
+		resumed.Resume = true
+		rep2 := mustCampaign(t, context.Background(), cfg, schemes, resumed)
+		if rep2.Trials != full.Trials {
+			t.Fatalf("round %d: resumed run tallied %d trials, want %d", round, rep2.Trials, full.Trials)
+		}
+		if !reflect.DeepEqual(rep2.Results, full.Results) {
+			t.Fatalf("round %d (stop after %d/%d chunks): resumed results diverge from uninterrupted:\n%+v\nvs\n%+v",
+				round, stopAfter, nChunks, rep2.Results, full.Results)
+		}
+	}
+}
+
+func TestRunCampaignResumeShortCircuitsCompletedRun(t *testing.T) {
+	cfg := DefaultConfig()
+	path := filepath.Join(t.TempDir(), "done.ckpt")
+	opts := campaignTestOpts()
+	opts.CheckpointPath = path
+	first := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+
+	opts.Resume = true
+	again := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+	if !reflect.DeepEqual(first.Results, again.Results) {
+		t.Fatal("resuming a complete snapshot changed the results")
+	}
+}
+
+func TestRunCampaignRefusesMismatchedCheckpoint(t *testing.T) {
+	cfg := DefaultConfig()
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	opts := campaignTestOpts()
+	opts.CheckpointPath = path
+	mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+
+	for name, mutate := range map[string]func(*Config, *CampaignOptions){
+		"seed":    func(c *Config, o *CampaignOptions) { o.Seed++ },
+		"trials":  func(c *Config, o *CampaignOptions) { o.Trials *= 2 },
+		"chunk":   func(c *Config, o *CampaignOptions) { o.ChunkSize *= 2 },
+		"config":  func(c *Config, o *CampaignOptions) { c.ScrubIntervalHours = 1 },
+		"schemes": nil, // handled below: different scheme set
+	} {
+		mcfg, mopts := cfg, opts
+		mopts.Resume = true
+		schemes := AllSchemes()
+		if mutate != nil {
+			mutate(&mcfg, &mopts)
+		} else {
+			schemes = schemes[:3]
+		}
+		if _, err := RunCampaign(context.Background(), mcfg, schemes, mopts); !errors.Is(err, checkpoint.ErrConfigMismatch) {
+			t.Fatalf("%s mutation: resume returned %v, want ErrConfigMismatch", name, err)
+		}
+	}
+}
+
+func TestRunCampaignCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunCampaign(ctx, DefaultConfig(), AllSchemes(), campaignTestOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if rep == nil || rep.Trials != 0 {
+		t.Fatalf("expected empty partial report, got %+v", rep)
+	}
+}
+
+// panicScheme is an opaque (non-domainScheme) stub that survives empty
+// trials but panics whenever a trial drew at least minFaults records —
+// deterministic in the fault stream, so every worker count trips over
+// exactly the same trials.
+type panicScheme struct{ minFaults int }
+
+func (p *panicScheme) Name() string { return "panic-stub" }
+
+func (p *panicScheme) FailTime(cfg *Config, faults []FaultRecord) float64 {
+	if len(faults) >= p.minFaults {
+		panic("panic-stub: injected trial failure")
+	}
+	return math.Inf(1)
+}
+
+func TestRunCampaignPanicIsolationAndReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := []Scheme{NewXED(), &panicScheme{minFaults: 2}}
+	var reference *Report
+	for _, workers := range []int{1, 4, 16} {
+		opts := campaignTestOpts()
+		opts.Workers = workers
+		opts.ErrorBudget = 1 << 20 // isolate, never abort
+		rep, err := RunCampaign(context.Background(), cfg, schemes, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: campaign aborted: %v", workers, err)
+		}
+		if len(rep.TrialErrors) == 0 {
+			t.Fatalf("workers=%d: stub never panicked; weaken minFaults", workers)
+		}
+		if rep.Trials != rep.Requested-uint64(len(rep.TrialErrors)) {
+			t.Fatalf("workers=%d: %d tallied + %d voided != %d requested",
+				workers, rep.Trials, len(rep.TrialErrors), rep.Requested)
+		}
+		if reference == nil {
+			reference = rep
+			continue
+		}
+		if !reflect.DeepEqual(rep.Results, reference.Results) {
+			t.Fatalf("workers=%d: results diverged under panics", workers)
+		}
+		if len(rep.TrialErrors) != len(reference.TrialErrors) {
+			t.Fatalf("workers=%d: %d trial errors vs %d", workers, len(rep.TrialErrors), len(reference.TrialErrors))
+		}
+		for i := range rep.TrialErrors {
+			a, b := &rep.TrialErrors[i], &reference.TrialErrors[i]
+			if a.Trial != b.Trial || a.Chunk != b.Chunk || a.RNGState != b.RNGState ||
+				!reflect.DeepEqual(a.Faults, b.Faults) {
+				t.Fatalf("workers=%d: trial error %d differs: %+v vs %+v", workers, i, a, b)
+			}
+		}
+	}
+
+	// Every recorded error replays in isolation: same faults, same panic.
+	for i, te := range reference.TrialErrors {
+		if i >= 5 {
+			break
+		}
+		faults, outs, panicked, err := te.Replay(cfg, schemes)
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if panicked == nil {
+			t.Fatalf("replay %d: panic did not reproduce", i)
+		}
+		if outs != nil {
+			t.Fatalf("replay %d: got outcomes despite panic", i)
+		}
+		if !reflect.DeepEqual(faults, te.Faults) {
+			t.Fatalf("replay %d regenerated different faults:\n%+v\nvs recorded\n%+v", i, faults, te.Faults)
+		}
+	}
+
+	// And the error itself is descriptive.
+	if msg := reference.TrialErrors[0].Error(); msg == "" {
+		t.Fatal("empty TrialError message")
+	}
+}
+
+func TestRunCampaignErrorBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := []Scheme{NewXED(), &panicScheme{minFaults: 1}} // panics often
+	opts := campaignTestOpts()
+	opts.ErrorBudget = -1 // tolerate none
+	rep, err := RunCampaign(context.Background(), cfg, schemes, opts)
+	if !errors.Is(err, ErrErrorBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrErrorBudgetExceeded", err)
+	}
+	if rep == nil || len(rep.TrialErrors) == 0 {
+		t.Fatal("aborted campaign should still report its trial errors")
+	}
+}
+
+func TestRunCampaignValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := RunCampaign(context.Background(), cfg, AllSchemes(), CampaignOptions{Trials: 0}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := RunCampaign(context.Background(), cfg, nil, CampaignOptions{Trials: 10}); err == nil {
+		t.Fatal("empty scheme set accepted")
+	}
+	bad := cfg
+	bad.Channels = 0
+	if _, err := RunCampaign(context.Background(), bad, AllSchemes(), CampaignOptions{Trials: 10}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSchemesByName(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != 6 {
+		t.Fatalf("expected 6 scheme names, got %v", names)
+	}
+	schemes, err := SchemesByName(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range schemes {
+		if s.Name() != names[i] {
+			t.Fatalf("scheme %d resolved to %q, want %q", i, s.Name(), names[i])
+		}
+	}
+	if _, err := SchemesByName("XED", "NoSuchScheme"); err == nil {
+		t.Fatal("unknown scheme name accepted")
+	}
+	if _, err := SchemesByName(); err == nil {
+		t.Fatal("empty name list accepted")
+	}
+}
+
+func TestConfigValidateRejectsBadRatesAndAging(t *testing.T) {
+	base := DefaultConfig()
+
+	cfg := base
+	cfg.FITs = append(FITTable{}, base.FITs...)
+	cfg.FITs[0].Rate = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative FIT rate accepted")
+	}
+
+	cfg = base
+	cfg.FITs = append(FITTable{}, base.FITs...)
+	cfg.FITs[0].Rate = FIT(math.NaN())
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("NaN FIT rate accepted")
+	}
+
+	cfg = base
+	cfg.ScalingRate = math.NaN()
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("NaN scaling rate accepted")
+	}
+
+	cfg = base
+	cfg.Aging = AgingProfile{InfantFactor: -2, WearoutFactor: 1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative aging factor accepted")
+	}
+
+	cfg = base
+	cfg.Aging = AgingProfile{InfantFactor: 1, WearoutFactor: 1, WearoutOnset: 1.5}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("out-of-range wearout onset accepted")
+	}
+}

@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"fmt"
+	"math"
 
 	"xedsim/internal/dram"
 )
@@ -88,8 +89,19 @@ func (c *Config) Validate() error {
 	if len(c.FITs) == 0 {
 		return fmt.Errorf("faultsim: empty FIT table")
 	}
+	for _, cls := range c.FITs {
+		if math.IsNaN(float64(cls.Rate)) || math.IsInf(float64(cls.Rate), 0) || cls.Rate < 0 {
+			return fmt.Errorf("faultsim: invalid FIT rate %v for granularity %v", cls.Rate, cls.Gran)
+		}
+	}
 	if c.SilentWordFraction < 0 || c.SilentWordFraction > 1 {
 		return fmt.Errorf("faultsim: silent fraction %v out of range", c.SilentWordFraction)
+	}
+	if math.IsNaN(c.ScalingRate) || c.ScalingRate < 0 || c.ScalingRate > 1 {
+		return fmt.Errorf("faultsim: scaling rate %v out of range", c.ScalingRate)
+	}
+	if err := c.Aging.validate(); err != nil {
+		return err
 	}
 	return c.Geom.Validate()
 }

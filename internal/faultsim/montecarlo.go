@@ -1,12 +1,9 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-
-	"xedsim/internal/simrand"
 )
 
 // Result accumulates one scheme's outcome over all trials.
@@ -66,10 +63,17 @@ func (r *Result) StdErr() float64 {
 
 // Report is the outcome of one Monte-Carlo campaign.
 type Report struct {
-	Config  Config
-	Trials  uint64
-	Years   int
-	Results []Result
+	Config Config
+	// Trials counts the trials actually tallied; Requested is the campaign
+	// size asked for. They differ when the campaign was cancelled partway
+	// (see RunCampaign) or when trials were voided by panics.
+	Trials    uint64
+	Requested uint64
+	Years     int
+	Results   []Result
+	// TrialErrors lists the trials voided by panicking scheme code, each
+	// carrying what is needed to replay it in isolation.
+	TrialErrors []TrialError
 }
 
 // ResultFor returns the named scheme's result, or nil.
@@ -95,118 +99,16 @@ func (rep *Report) Improvement(a, b string) float64 {
 
 // Run executes the Monte-Carlo campaign: `trials` systems, each exposed to
 // one fault stream judged by every scheme. workers <= 0 selects GOMAXPROCS.
-// The run is deterministic for a given (cfg, trials, seed, workers).
+// The run is deterministic for a given (cfg, trials, seed) — any worker
+// count produces bit-identical results. Run is the simple front door; the
+// resilient engine behind it (cancellation, checkpoint/resume, panic
+// isolation) is reached through RunCampaign.
 func Run(cfg Config, schemes []Scheme, trials int, seed uint64, workers int) (*Report, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if trials <= 0 {
-		return nil, fmt.Errorf("faultsim: non-positive trial count %d", trials)
-	}
-	if len(schemes) == 0 {
-		return nil, fmt.Errorf("faultsim: no schemes to evaluate")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-	years := int(math.Ceil(cfg.LifetimeHours / HoursPerYear))
-
-	type shard struct {
-		failures   [][]uint64 // [scheme][year] cumulative
-		total      []uint64
-		dues, sdcs []uint64
-	}
-	shards := make([]shard, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			sh := &shards[w]
-			sh.failures = make([][]uint64, len(schemes))
-			sh.total = make([]uint64, len(schemes))
-			sh.dues = make([]uint64, len(schemes))
-			sh.sdcs = make([]uint64, len(schemes))
-			for s := range schemes {
-				sh.failures[s] = make([]uint64, years)
-			}
-			rng := simrand.New(seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
-			ev := NewEvaluator(&cfg, schemes)
-			gen := newRunGenerator(&cfg, ev)
-			var buf []FaultRecord
-			var outs []TrialOutcome
-			tally := func(outs []TrialOutcome) {
-				for s := range outs {
-					ft := outs[s].FailTime
-					if math.IsInf(ft, 1) {
-						continue
-					}
-					sh.total[s]++
-					switch outs[s].Kind {
-					case FailDUE:
-						sh.dues[s]++
-					case FailSDC:
-						sh.sdcs[s]++
-					}
-					yr := int(ft / HoursPerYear)
-					if yr >= years {
-						yr = years - 1
-					}
-					for y := yr; y < years; y++ {
-						sh.failures[s][y]++
-					}
-				}
-			}
-			lo, hi := w*trials/workers, (w+1)*trials/workers
-			if ev.EmptyTrialsSurvive() {
-				// Fast path: ~3/4 of trials draw zero faults under the
-				// Table I rates and cannot fail any scheme, so account
-				// their geometric runs wholesale and only generate +
-				// evaluate the non-empty trials. Exactness: trial
-				// counts are i.i.d., so the run of zeros and the next
-				// nonzero count factor independently, and the
-				// discarded out-of-shard trial is memoryless.
-				for t := lo; t < hi; {
-					skipped, rec := gen.nextNonEmpty(rng, buf)
-					buf = rec
-					if skipped >= hi-t {
-						break // rest of the shard drew empty trials
-					}
-					t += skipped
-					if len(buf) > 0 { // aging thinning can still empty a trial
-						outs = ev.EvaluateInto(buf, outs)
-						tally(outs)
-					}
-					t++
-				}
-			} else {
-				for t := lo; t < hi; t++ {
-					buf = gen.Trial(rng, buf)
-					outs = ev.EvaluateInto(buf, outs)
-					tally(outs)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	rep := &Report{Config: cfg, Trials: uint64(trials), Years: years}
-	for s, scheme := range schemes {
-		res := Result{SchemeName: scheme.Name(), Trials: uint64(trials), FailuresByYear: make([]uint64, years)}
-		for w := range shards {
-			res.Failures += shards[w].total[s]
-			res.DUEs += shards[w].dues[s]
-			res.SDCs += shards[w].sdcs[s]
-			for y := 0; y < years; y++ {
-				res.FailuresByYear[y] += shards[w].failures[s][y]
-			}
-		}
-		rep.Results = append(rep.Results, res)
-	}
-	return rep, nil
+	return RunCampaign(context.Background(), cfg, schemes, CampaignOptions{
+		Trials:  trials,
+		Seed:    seed,
+		Workers: workers,
+	})
 }
 
 // AllSchemes returns the six organisations the paper evaluates, in the
@@ -220,6 +122,44 @@ func AllSchemes() []Scheme {
 		NewDoubleChipkill(),
 		NewXEDChipkill(),
 	}
+}
+
+// SchemeNames returns the names of the paper's six organisations, in
+// AllSchemes order — the vocabulary SchemesByName accepts.
+func SchemeNames() []string {
+	all := AllSchemes()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// SchemesByName resolves scheme names (as reported by Scheme.Name) to fresh
+// scheme instances, preserving order. Unknown names are an error listing
+// the valid vocabulary — the CLI's defence against typos silently running a
+// zero-scheme campaign.
+func SchemesByName(names ...string) ([]Scheme, error) {
+	ctors := map[string]func() Scheme{
+		"NonECC":            func() Scheme { return NewNonECC() },
+		"ECC-DIMM (SECDED)": func() Scheme { return NewSECDED() },
+		"XED":               func() Scheme { return NewXED() },
+		"Chipkill":          func() Scheme { return NewChipkill() },
+		"Double-Chipkill":   func() Scheme { return NewDoubleChipkill() },
+		"XED+Chipkill":      func() Scheme { return NewXEDChipkill() },
+	}
+	out := make([]Scheme, 0, len(names))
+	for _, name := range names {
+		ctor, ok := ctors[name]
+		if !ok {
+			return nil, fmt.Errorf("faultsim: unknown scheme %q (valid: %v)", name, SchemeNames())
+		}
+		out = append(out, ctor())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultsim: no schemes named")
+	}
+	return out, nil
 }
 
 // ImprovementCI returns the reliability-improvement ratio of scheme a over

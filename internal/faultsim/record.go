@@ -85,6 +85,15 @@ func newGenerator(cfg *Config) *generator {
 	return newFilteredGenerator(cfg, nil)
 }
 
+// resetEvents rewinds the EventID counter. The campaign engine calls it at
+// every chunk boundary so a chunk's records are a pure function of the
+// chunk's substream: EventIDs only ever distinguish records *within* one
+// trial (eventHash ignores them), so restarting the counter is
+// outcome-neutral.
+func (g *generator) resetEvents() {
+	g.nextEvent = 0
+}
+
 // newFilteredGenerator builds a generator over the classes that pass
 // `live` (nil keeps everything). Dropping classes rescales the Poisson
 // trial-count mean accordingly, so the surviving classes keep their exact

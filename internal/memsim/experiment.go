@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -17,8 +18,11 @@ type Comparison struct {
 }
 
 // RunComparison simulates every (workload, scheme) pair. instrPerCore
-// scales fidelity versus runtime; workers <= 0 uses GOMAXPROCS.
-func RunComparison(workloads []Workload, schemes []SchemeConfig, instrPerCore int64, seed uint64, workers int) *Comparison {
+// scales fidelity versus runtime; workers <= 0 uses GOMAXPROCS. ctx
+// cancellation abandons unstarted pairs and interrupts in-flight
+// simulations at the next cycle-batch boundary; the partial Comparison is
+// returned alongside ctx's error (unfinished cells hold the zero Result).
+func RunComparison(ctx context.Context, workloads []Workload, schemes []SchemeConfig, instrPerCore int64, seed uint64, workers int) (*Comparison, error) {
 	cmp := &Comparison{Workloads: workloads, Schemes: schemes}
 	cmp.Results = make([][]Result, len(workloads))
 	for i := range cmp.Results {
@@ -35,10 +39,13 @@ func RunComparison(workloads []Workload, schemes []SchemeConfig, instrPerCore in
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the channel without simulating
+				}
 				cfg := DefaultConfig(workloads[j.w], schemes[j.s])
 				cfg.InstrPerCore = instrPerCore
 				cfg.Seed = seed + uint64(j.w)*977
-				cmp.Results[j.w][j.s] = New(cfg).Run()
+				cmp.Results[j.w][j.s] = New(cfg).RunContext(ctx)
 			}
 		}()
 	}
@@ -49,7 +56,7 @@ func RunComparison(workloads []Workload, schemes []SchemeConfig, instrPerCore in
 	}
 	close(jobs)
 	wg.Wait()
-	return cmp
+	return cmp, ctx.Err()
 }
 
 // NormalizedTime returns execution time of (workload w, scheme s) relative

@@ -1,6 +1,9 @@
 package memsim
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestSerialModeOverheadNegligibleAtPaperRate(t *testing.T) {
 	// §XI-A: serial-mode episodes once per 200K accesses cost nothing
@@ -191,7 +194,10 @@ func TestFig11CalibrationGuard(t *testing.T) {
 		ws = append(ws, w)
 	}
 	schemes := []SchemeConfig{SECDEDScheme(), XEDScheme(), ChipkillScheme(), DoubleChipkillScheme()}
-	cmp := RunComparison(ws, schemes, 100_000, 7, 0)
+	cmp, err := RunComparison(context.Background(), ws, schemes, 100_000, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g := cmp.GmeanTime(1); g != 1 {
 		t.Fatalf("XED gmean %v, want exactly 1", g)
 	}

@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"context"
 	"fmt"
 
 	"xedsim/internal/dram"
@@ -187,7 +188,7 @@ func New(cfg Config) *Simulator {
 			src = &fileTrace{
 				ops:         cfg.TraceOps,
 				pos:         (i * len(cfg.TraceOps)) / cfg.Cores,
-				mapper:      dram.NewMapper(cfg.Channels, cfg.RanksPerChannel, dram.Geometry{Banks: cfg.BanksPerRank, RowsPerBank: cfg.RowsPerBank, ColsPerRow: cfg.ColsPerRow}),
+				mapper:      dram.MustNewMapper(cfg.Channels, cfg.RanksPerChannel, dram.Geometry{Banks: cfg.BanksPerRank, RowsPerBank: cfg.RowsPerBank, ColsPerRow: cfg.ColsPerRow}),
 				channelGang: cfg.Scheme.ChannelsPerAccess,
 				rankGang:    cfg.Scheme.RanksPerAccess,
 			}
@@ -284,11 +285,22 @@ func (s *Simulator) enqueueWrite(op *traceOp) bool {
 
 // Run executes the simulation to completion and returns the result.
 func (s *Simulator) Run() Result {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: every few thousand
+// cycles it polls ctx and, when cancelled, returns the partial Result as
+// of the current cycle (Cycles and the power/traffic counters cover the
+// simulated prefix).
+func (s *Simulator) RunContext(ctx context.Context) Result {
 	maxCycles := s.cfg.InstrPerCore * 400 // generous watchdog
 	for {
 		s.now++
 		if s.now > maxCycles {
 			panic("memsim: watchdog expired; scheduler livelock?")
+		}
+		if s.now&(1<<12-1) == 0 && ctx.Err() != nil {
+			break
 		}
 		// 1. Data arrivals unblock ROB entries.
 		if entries, ok := s.completions[s.now]; ok {

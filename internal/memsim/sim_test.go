@@ -1,6 +1,7 @@
 package memsim
 
 import (
+	"context"
 	"testing"
 )
 
@@ -257,7 +258,10 @@ func TestPaperWorkloadsWellFormed(t *testing.T) {
 func TestRunComparisonNormalisation(t *testing.T) {
 	ws := []Workload{mustWorkload(t, "libquantum"), mustWorkload(t, "gcc")}
 	schemes := []SchemeConfig{SECDEDScheme(), XEDScheme(), ChipkillScheme()}
-	cmp := RunComparison(ws, schemes, 25_000, 3, 0)
+	cmp, err := RunComparison(context.Background(), ws, schemes, 25_000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for w := range ws {
 		if got := cmp.NormalizedTime(w, 0); got != 1 {
 			t.Fatalf("baseline normalised time = %v", got)

@@ -99,7 +99,7 @@ func WriteTraceFile(w io.Writer, ops []TraceOpRecord) error {
 // generated stream can be inspected or replayed elsewhere.
 func ExportTrace(w Workload, geom systemGeom, seed uint64, n int) []TraceOpRecord {
 	tg := newTraceGen(w, geom, seed)
-	mapper := dram.NewMapper(geom.channels, geom.ranks,
+	mapper := dram.MustNewMapper(geom.channels, geom.ranks,
 		dram.Geometry{Banks: geom.banks, RowsPerBank: geom.rows, ColsPerRow: geom.cols})
 	ops := make([]TraceOpRecord, 0, n)
 	for i := 0; i < n; i++ {

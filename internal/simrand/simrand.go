@@ -25,6 +25,13 @@ type Source struct {
 // construction recommended by the xoshiro authors).
 func New(seed uint64) *Source {
 	var src Source
+	src.seed(seed)
+	return &src
+}
+
+// seed (re)initialises the generator in place from a 64-bit seed via four
+// rounds of splitmix64.
+func (s *Source) seed(seed uint64) {
 	sm := seed
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
@@ -33,13 +40,12 @@ func New(seed uint64) *Source {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		return z ^ (z >> 31)
 	}
-	src.s0, src.s1, src.s2, src.s3 = next(), next(), next(), next()
+	s.s0, s.s1, s.s2, s.s3 = next(), next(), next(), next()
 	// xoshiro must not start from the all-zero state; splitmix64 cannot
 	// produce four consecutive zeros, but guard anyway.
-	if src.s0|src.s1|src.s2|src.s3 == 0 {
-		src.s0 = 1
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
 	}
-	return &src
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -23,6 +23,8 @@
 package xedsim
 
 import (
+	"context"
+
 	"xedsim/internal/core"
 	"xedsim/internal/dram"
 	"xedsim/internal/ecc"
@@ -70,13 +72,17 @@ type Config struct {
 	Seed uint64
 }
 
-// NewSystem builds an XED system. The zero Config is valid.
-func NewSystem(cfg Config) *System {
+// NewSystem builds an XED system. The zero Config is valid; an invalid
+// Geometry is an error.
+func NewSystem(cfg Config) (*System, error) {
 	geom := cfg.Geometry
 	if geom == (dram.Geometry{}) {
 		geom = dram.DefaultGeometry()
 	}
-	rank := dram.NewRank(9, geom, cfg.OnDie.build())
+	rank, err := dram.NewRank(9, geom, cfg.OnDie.build())
+	if err != nil {
+		return nil, err
+	}
 	if cfg.ScalingFaultRate > 0 {
 		for i := 0; i < rank.Chips(); i++ {
 			rank.Chip(i).SetScaling(dram.ScalingProfile{
@@ -85,7 +91,7 @@ func NewSystem(cfg Config) *System {
 			})
 		}
 	}
-	return &System{ctrl: core.NewController(rank, cfg.Seed)}
+	return &System{ctrl: core.NewController(rank, cfg.Seed)}, nil
 }
 
 // Write stores a 64-byte cache line at the address.
@@ -113,10 +119,21 @@ type ReliabilityReport = faultsim.Report
 // DefaultReliabilityConfig is the paper's §III evaluation system.
 func DefaultReliabilityConfig() ReliabilityConfig { return faultsim.DefaultConfig() }
 
+// CampaignOptions re-exports the resilient campaign engine's options
+// (cancellation, checkpoint/resume, panic isolation).
+type CampaignOptions = faultsim.CampaignOptions
+
 // RunReliability executes a Monte-Carlo reliability campaign over the
 // paper's six protection organisations (Figures 1, 7, 8, 9, 10).
 func RunReliability(cfg ReliabilityConfig, trials int, seed uint64) (*ReliabilityReport, error) {
 	return faultsim.Run(cfg, faultsim.AllSchemes(), trials, seed, 0)
+}
+
+// RunReliabilityCampaign is RunReliability through the resilient engine:
+// ctx cancellation drains workers and returns the partial report, and opts
+// selects checkpointing, resume, panic error budget and scheduling shape.
+func RunReliabilityCampaign(ctx context.Context, cfg ReliabilityConfig, opts CampaignOptions) (*ReliabilityReport, error) {
+	return faultsim.RunCampaign(ctx, cfg, faultsim.AllSchemes(), opts)
 }
 
 // PerformanceComparison re-exports the memsim experiment result.
@@ -125,9 +142,10 @@ type PerformanceComparison = memsim.Comparison
 // RunPerformance executes the cycle-level simulator over the paper's
 // workload list for the given schemes (Figures 11-14). instrPerCore
 // trades fidelity for runtime; 300k is a sensible floor, the paper's
-// slices are 1B.
-func RunPerformance(schemes []memsim.SchemeConfig, instrPerCore int64, seed uint64) *PerformanceComparison {
-	return memsim.RunComparison(memsim.PaperWorkloads(), schemes, instrPerCore, seed, 0)
+// slices are 1B. ctx cancellation abandons the remaining runs and returns
+// ctx's error.
+func RunPerformance(ctx context.Context, schemes []memsim.SchemeConfig, instrPerCore int64, seed uint64) (*PerformanceComparison, error) {
+	return memsim.RunComparison(ctx, memsim.PaperWorkloads(), schemes, instrPerCore, seed, 0)
 }
 
 // Figure11Schemes returns the scheme set of Figures 11 and 12, baseline
@@ -152,8 +170,8 @@ type FleetConfig = core.MemorySystemConfig
 
 // NewFleet builds an address-mapped, XED-protected memory fleet. A zero
 // Geometry selects the paper's 2Gb part; Channels/RanksPerChannel default
-// to the Table V system (4x2).
-func NewFleet(cfg FleetConfig) *Fleet {
+// to the Table V system (4x2). Invalid shapes are an error.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Channels == 0 {
 		cfg.Channels = 4
 	}

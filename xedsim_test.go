@@ -1,6 +1,7 @@
 package xedsim
 
 import (
+	"context"
 	"testing"
 
 	"xedsim/internal/core"
@@ -10,7 +11,10 @@ import (
 func smallGeom() dram.Geometry { return dram.Geometry{Banks: 2, RowsPerBank: 16, ColsPerRow: 128} }
 
 func TestFacadeRoundTrip(t *testing.T) {
-	sys := NewSystem(Config{Geometry: smallGeom(), Seed: 1})
+	sys, err := NewSystem(Config{Geometry: smallGeom(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := dram.WordAddr{Bank: 0, Row: 3, Col: 5}
 	line := core.Line{1, 2, 3, 4, 5, 6, 7, 8}
 	sys.Write(addr, line)
@@ -21,7 +25,10 @@ func TestFacadeRoundTrip(t *testing.T) {
 }
 
 func TestFacadeSurvivesChipFailure(t *testing.T) {
-	sys := NewSystem(Config{Geometry: smallGeom(), Seed: 2})
+	sys, err := NewSystem(Config{Geometry: smallGeom(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := dram.WordAddr{Bank: 1, Row: 1, Col: 1}
 	line := core.Line{9, 8, 7, 6, 5, 4, 3, 2}
 	sys.Write(addr, line)
@@ -41,7 +48,10 @@ func TestFacadeSurvivesChipFailure(t *testing.T) {
 func TestFacadeWithScalingFaults(t *testing.T) {
 	// An exaggerated scaling rate so the small geometry contains weak
 	// cells; XED must still return correct data for every line.
-	sys := NewSystem(Config{Geometry: smallGeom(), Seed: 3, ScalingFaultRate: 0.01})
+	sys, err := NewSystem(Config{Geometry: smallGeom(), Seed: 3, ScalingFaultRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for row := 0; row < 16; row++ {
 		addr := dram.WordAddr{Bank: 0, Row: row, Col: row * 7 % 128}
 		line := core.Line{uint64(row), 1, 2, 3, 4, 5, 6, 7}
@@ -53,7 +63,10 @@ func TestFacadeWithScalingFaults(t *testing.T) {
 }
 
 func TestFacadeHammingOption(t *testing.T) {
-	sys := NewSystem(Config{Geometry: smallGeom(), OnDie: Hamming, Seed: 4})
+	sys, err := NewSystem(Config{Geometry: smallGeom(), OnDie: Hamming, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr := dram.WordAddr{Bank: 0, Row: 0, Col: 0}
 	line := core.Line{0xaa, 0xbb, 0, 0, 0, 0, 0, 0}
 	sys.Write(addr, line)
@@ -87,7 +100,10 @@ func TestFacadePerformanceComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level sweep")
 	}
-	cmp := RunPerformance(Figure11Schemes()[:3], 20_000, 5)
+	cmp, err := RunPerformance(context.Background(), Figure11Schemes()[:3], 20_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cmp.Workloads) < 26 {
 		t.Fatalf("workload list truncated: %d", len(cmp.Workloads))
 	}
@@ -100,7 +116,10 @@ func TestFacadePerformanceComparison(t *testing.T) {
 }
 
 func TestFacadeFleet(t *testing.T) {
-	fleet := NewFleet(FleetConfig{Geometry: smallGeom(), Seed: 44})
+	fleet, err := NewFleet(FleetConfig{Geometry: smallGeom(), Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
 	line := core.Line{5, 4, 3, 2, 1, 0, 9, 8}
 	fleet.Write(0x4040, line)
 	fleet.InjectChipFailure(0, 0, 7, dram.NewChipFault(false, 5))
