@@ -24,15 +24,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"xedsim/internal/faultsim"
+	"xedsim/internal/obs"
 	"xedsim/internal/profiling"
 )
 
@@ -40,6 +45,56 @@ func usageErr(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "xedfaultsim: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	systems    int
+	workers    int
+	scrub      float64
+	ckptEvery  time.Duration
+	experiment string
+	schemeList string
+	ckptPath   string
+	resume     bool
+}
+
+// validateArgs returns the message usageErr should print, or nil. Range
+// errors are caught here, at flag-validation time, rather than surfacing
+// later as Config invariant violations (negative scrub intervals) or as
+// silently disabled periodic snapshots (non-positive -checkpoint-every).
+func validateArgs(a cliArgs) error {
+	if a.systems <= 0 {
+		return fmt.Errorf("-systems must be positive, got %d", a.systems)
+	}
+	if a.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", a.workers)
+	}
+	if a.scrub < 0 {
+		return fmt.Errorf("-scrub-hours must be >= 0, got %v", a.scrub)
+	}
+	if a.ckptEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %v", a.ckptEvery)
+	}
+	switch a.experiment {
+	case "all", "fig1", "fig7", "fig8", "fig9", "fig10", "custom":
+	default:
+		return fmt.Errorf("unknown experiment %q", a.experiment)
+	}
+	if a.experiment == "custom" && a.schemeList == "" {
+		return fmt.Errorf("-experiment custom needs -schemes (valid: %v)", faultsim.SchemeNames())
+	}
+	if a.experiment != "custom" && a.schemeList != "" {
+		return errors.New("-schemes only applies to -experiment custom")
+	}
+	if a.ckptPath != "" && a.experiment == "all" {
+		return errors.New("-checkpoint covers one campaign; pick a single -experiment")
+	}
+	if a.resume && a.ckptPath == "" {
+		return errors.New("-resume needs -checkpoint")
+	}
+	return nil
 }
 
 func main() {
@@ -53,41 +108,49 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "snapshot campaign progress to this file (single experiment only)")
 	ckptEvery := flag.Duration("checkpoint-every", faultsim.DefaultCheckpointInterval, "interval between periodic snapshots")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	progress := flag.Bool("progress", false, "repaint a one-line live status (trials/s, per-scheme tallies) on stderr")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON")
+	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof over HTTP on this address (e.g. localhost:6060)")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *systems <= 0 {
-		usageErr("-systems must be positive, got %d", *systems)
-	}
-	if *workers < 0 {
-		usageErr("-workers must be >= 0, got %d", *workers)
-	}
-	if *ckptEvery <= 0 {
-		usageErr("-checkpoint-every must be positive, got %v", *ckptEvery)
-	}
-	switch *experiment {
-	case "all", "fig1", "fig7", "fig8", "fig9", "fig10", "custom":
-	default:
-		usageErr("unknown experiment %q", *experiment)
+	if err := validateArgs(cliArgs{
+		systems:    *systems,
+		workers:    *workers,
+		scrub:      *scrub,
+		ckptEvery:  *ckptEvery,
+		experiment: *experiment,
+		schemeList: *schemeList,
+		ckptPath:   *ckptPath,
+		resume:     *resume,
+	}); err != nil {
+		usageErr("%v", err)
 	}
 	var customSchemes []faultsim.Scheme
 	if *experiment == "custom" {
-		if *schemeList == "" {
-			usageErr("-experiment custom needs -schemes (valid: %v)", faultsim.SchemeNames())
-		}
 		var err error
 		customSchemes, err = faultsim.SchemesByName(splitTrim(*schemeList)...)
 		if err != nil {
 			usageErr("%v", err)
 		}
-	} else if *schemeList != "" {
-		usageErr("-schemes only applies to -experiment custom")
 	}
-	if *ckptPath != "" && *experiment == "all" {
-		usageErr("-checkpoint covers one campaign; pick a single -experiment")
+
+	// One registry spans all experiments of the run, so -experiment all
+	// accumulates into the same counters the debug endpoint serves.
+	var reg *obs.Registry
+	if *progress || *metricsJSON != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
 	}
-	if *resume && *ckptPath == "" {
-		usageErr("-resume needs -checkpoint")
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xedfaultsim: -debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xedfaultsim: serving metrics and pprof on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: obs.NewMux(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -98,16 +161,19 @@ func main() {
 		os.Exit(1)
 	}
 	opts := runOptions{
-		systems: *systems,
-		seed:    *seed,
-		scrub:   *scrub,
-		overlap: *overlap,
-		workers: *workers,
-		schemes: customSchemes,
+		systems:  *systems,
+		seed:     *seed,
+		scrub:    *scrub,
+		overlap:  *overlap,
+		workers:  *workers,
+		schemes:  customSchemes,
+		metrics:  reg,
+		progress: *progress,
 		campaign: faultsim.CampaignOptions{
 			CheckpointPath:     *ckptPath,
 			CheckpointInterval: *ckptEvery,
 			Resume:             *resume,
+			Metrics:            reg,
 		},
 	}
 	var runErr error
@@ -125,10 +191,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
 		os.Exit(1)
 	}
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "xedfaultsim: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeMetricsJSON dumps the final snapshot; it runs even after an
+// interrupted campaign so partial runs still leave their accounting behind.
+func writeMetricsJSON(path string, reg *obs.Registry) error {
+	b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func splitTrim(s string) []string {
@@ -149,6 +231,8 @@ type runOptions struct {
 	overlap  bool
 	workers  int
 	schemes  []faultsim.Scheme // custom experiment only
+	metrics  *obs.Registry     // nil unless -progress/-metrics-json/-debug-addr
+	progress bool
 	campaign faultsim.CampaignOptions
 }
 
@@ -207,8 +291,16 @@ func runExperiment(ctx context.Context, name string, o runOptions) error {
 	copts.Trials = o.systems
 	copts.Seed = o.seed
 	copts.Workers = o.workers
+	var pp *progressPrinter
+	if o.progress && o.metrics != nil {
+		pp = newProgressPrinter(o.metrics, os.Stderr, name, schemes)
+		copts.OnChunk = pp.onChunk
+	}
 
 	rep, err := faultsim.RunCampaign(ctx, cfg, schemes, copts)
+	if pp != nil {
+		pp.finish() // terminate the repaint line before the results table
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		return err

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateArgs pins the flag-range validation behind the exit-2 usage
+// convention: out-of-range values are rejected up front instead of
+// violating Config invariants later (-scrub-hours -1) or silently
+// disabling periodic snapshots (-checkpoint-every 0).
+func TestValidateArgs(t *testing.T) {
+	valid := cliArgs{systems: 1000, ckptEvery: time.Second, experiment: "fig1"}
+	if err := validateArgs(valid); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*cliArgs)
+		want string
+	}{
+		{"negative scrub-hours", func(a *cliArgs) { a.scrub = -1 }, "-scrub-hours"},
+		{"zero checkpoint-every", func(a *cliArgs) { a.ckptEvery = 0 }, "-checkpoint-every"},
+		{"negative checkpoint-every", func(a *cliArgs) { a.ckptEvery = -time.Second }, "-checkpoint-every"},
+		{"zero systems", func(a *cliArgs) { a.systems = 0 }, "-systems"},
+		{"negative workers", func(a *cliArgs) { a.workers = -1 }, "-workers"},
+		{"unknown experiment", func(a *cliArgs) { a.experiment = "fig99" }, "unknown experiment"},
+		{"custom without schemes", func(a *cliArgs) { a.experiment = "custom" }, "-schemes"},
+		{"schemes outside custom", func(a *cliArgs) { a.schemeList = "XED" }, "-schemes"},
+		{"checkpoint with all", func(a *cliArgs) { a.experiment = "all"; a.ckptPath = "x.json" }, "-checkpoint"},
+		{"resume without checkpoint", func(a *cliArgs) { a.resume = true }, "-resume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := valid
+			tc.mut(&a)
+			err := validateArgs(a)
+			if err == nil {
+				t.Fatalf("%+v accepted", a)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	// A zero scrub override is "keep the config default", not an error.
+	ok := valid
+	ok.scrub = 0
+	if err := validateArgs(ok); err != nil {
+		t.Fatalf("-scrub-hours 0 rejected: %v", err)
+	}
+}

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"xedsim/internal/core"
 	"xedsim/internal/dram"
+	"xedsim/internal/obs"
 )
 
 var patterns = []struct {
@@ -39,6 +41,7 @@ func main() {
 	scaling := flag.Float64("scaling", 0, "scaling-fault rate per bit")
 	passes := flag.Int("passes", 1, "test passes")
 	seed := flag.Uint64("seed", 1, "seed")
+	metricsJSON := flag.String("metrics-json", "", "write the fleet's final core.* metrics snapshot to this file as JSON")
 	flag.Parse()
 	if *rows <= 0 || *banks <= 0 || *passes <= 0 {
 		fmt.Fprintf(os.Stderr, "xedmemtest: -rows, -banks and -passes must be positive\n")
@@ -51,12 +54,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var reg *obs.Registry
+	if *metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
 	fleet, err := core.NewMemorySystem(core.MemorySystemConfig{
 		Channels:         4,
 		RanksPerChannel:  2,
 		Geometry:         dram.Geometry{Banks: *banks, RowsPerBank: *rows, ColsPerRow: 128},
 		ScalingFaultRate: *scaling,
 		Seed:             *seed,
+		Metrics:          reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xedmemtest: %v\n", err)
@@ -108,6 +116,16 @@ func main() {
 				pass, p.name, bad, dues,
 				st.ErasureCorrections, st.SerialCorrections, st.DiagCorrections, st.Collisions)
 			failures += bad + dues
+		}
+	}
+	if reg != nil {
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsJSON, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xedmemtest: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if failures == 0 {

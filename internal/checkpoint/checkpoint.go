@@ -54,9 +54,13 @@ func Hash(v any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Save atomically writes payload under the given kind/version/configHash to
-// path. The temp file lives in path's directory so the rename cannot cross
-// filesystems.
+// Save atomically AND durably writes payload under the given
+// kind/version/configHash to path. The temp file lives in path's directory
+// so the rename cannot cross filesystems, and after the rename the
+// directory itself is fsynced: the rename is a directory-entry update, so
+// without the directory sync a crash right after a "successful" Save could
+// still roll the file back to the previous snapshot (or to nothing). Every
+// error path removes the temp file.
 func Save(path, kind string, version int, configHash string, payload any) error {
 	raw, err := json.Marshal(payload)
 	if err != nil {
@@ -92,6 +96,25 @@ func Save(path, kind string, version int, configHash string, payload any) error 
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Some platforms/filesystems refuse to fsync directories; that is reported
+// as-is — the campaign treats a failed save as fatal rather than running
+// on with a checkpoint of unknown durability.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing dir %s: %w", dir, err)
 	}
 	return nil
 }

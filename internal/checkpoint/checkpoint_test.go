@@ -60,6 +60,82 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 	}
 }
 
+// noTempFiles fails the test if dir holds any leftover *.tmp* file — the
+// contract that every Save error path cleans up after itself.
+func noTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stale temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSaveErrorPathsLeaveNoTempFile(t *testing.T) {
+	t.Run("unencodable payload", func(t *testing.T) {
+		dir := t.TempDir()
+		err := Save(filepath.Join(dir, "snap.json"), "k", 1, "h", make(chan int))
+		if err == nil {
+			t.Fatal("Save of an unencodable payload succeeded")
+		}
+		noTempFiles(t, dir)
+		if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+			t.Fatalf("failed Save created files: %v", entries)
+		}
+	})
+	t.Run("missing directory", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "no", "such", "dir", "snap.json")
+		if err := Save(path, "k", 1, "h", &payload{}); err == nil {
+			t.Fatal("Save into a missing directory succeeded")
+		}
+	})
+	t.Run("rename onto directory", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "snap.json")
+		if err := os.Mkdir(path, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// Make the rename fail reliably: a non-empty directory cannot be
+		// replaced by a file on any platform.
+		if err := os.WriteFile(filepath.Join(path, "occupant"), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(path, "k", 1, "h", &payload{}); err == nil {
+			t.Fatal("Save onto a directory succeeded")
+		}
+		noTempFiles(t, dir)
+	})
+}
+
+// TestSaveSyncsDirectory exercises the post-rename directory fsync path
+// (the durability fix): a successful Save must open and sync the parent
+// directory without error and still leave exactly the snapshot behind.
+func TestSaveSyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := Save(path, "k", 1, "h", &payload{Label: "durable"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "k", 1, "h", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Label != "durable" {
+		t.Fatalf("payload = %+v", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap.json" {
+		t.Fatalf("directory contents after Save: %v", entries)
+	}
+}
+
 func TestLoadMissingFile(t *testing.T) {
 	var out payload
 	err := Load(filepath.Join(t.TempDir(), "absent.json"), "k", 1, "h", &out)

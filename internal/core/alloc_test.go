@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"xedsim/internal/dram"
+	"xedsim/internal/obs"
 )
 
 // Allocation regression tests for the controller hot paths: after the
@@ -42,6 +43,42 @@ func TestXEDReadPathAllocFree(t *testing.T) {
 	erasure()
 	if allocs := testing.AllocsPerRun(200, erasure); allocs != 0 {
 		t.Errorf("single-erasure read path: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestXEDInstrumentedReadPathAllocFree pins the obs contract: attaching a
+// metrics registry adds atomic updates to the read path but no heap
+// allocations, clean and erasure-correcting reads alike.
+func TestXEDInstrumentedReadPathAllocFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newXED(t, WithMetrics(reg))
+	a := dram.WordAddr{Bank: 1, Row: 3, Col: 7}
+	c.WriteLine(a, Line{1, 2, 3, 4, 5, 6, 7, 8})
+
+	clean := func() {
+		if res := c.ReadLine(a); res.Outcome != OutcomeClean {
+			t.Fatalf("clean read: %v", res.Outcome)
+		}
+	}
+	clean()
+	if allocs := testing.AllocsPerRun(200, clean); allocs != 0 {
+		t.Errorf("instrumented clean read path: %v allocs/op, want 0", allocs)
+	}
+
+	c.Rank().InjectChipFailure(3, dram.NewChipFault(false, 42))
+	erasure := func() {
+		if res := c.ReadLine(a); res.Outcome != OutcomeCorrectedErasure {
+			t.Fatalf("erasure read: %v", res.Outcome)
+		}
+	}
+	erasure()
+	if allocs := testing.AllocsPerRun(200, erasure); allocs != 0 {
+		t.Errorf("instrumented erasure read path: %v allocs/op, want 0", allocs)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["core.reads"] == 0 || snap.Counters["core.corrections_erasure"] == 0 {
+		t.Fatalf("instrumentation recorded nothing: %+v", snap.Counters)
 	}
 }
 

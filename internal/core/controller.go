@@ -5,6 +5,7 @@ import (
 
 	"xedsim/internal/dram"
 	"xedsim/internal/ecc"
+	"xedsim/internal/obs"
 	"xedsim/internal/simrand"
 )
 
@@ -37,6 +38,11 @@ type Controller struct {
 	// events is the bounded RAS log (see events.go).
 	events *eventLog
 
+	// obsReg and m mirror Stats into an obs registry when WithMetrics is
+	// set; every handle is a nil no-op otherwise (see metrics.go).
+	obsReg *obs.Registry
+	m      controllerMetrics
+
 	// Read-path scratch, reused across calls so steady-state reads do not
 	// allocate. ReadResult.FaultyChips aliases these buffers.
 	readBuf    []dram.ReadResult
@@ -57,6 +63,13 @@ func WithInterLineThreshold(t float64) Option {
 	return func(c *Controller) { c.interLineThreshold = t }
 }
 
+// WithMetrics mirrors the controller's activity counters into r under
+// "core.*" names (and "core.scrub.*" for scrubbers attached to it). A nil
+// registry leaves the controller uninstrumented.
+func WithMetrics(r *obs.Registry) Option {
+	return func(c *Controller) { c.obsReg = r }
+}
+
 // NewController takes ownership of a 9-chip rank: it programs a distinct
 // random catch-word into every chip over the MRS interface and sets
 // XED-Enable (§V-A boot flow). seed drives catch-word generation.
@@ -74,6 +87,7 @@ func NewController(rank *dram.Rank, seed uint64, opts ...Option) *Controller {
 	for _, o := range opts {
 		o(c)
 	}
+	c.m = newControllerMetrics(c.obsReg)
 	for i := 0; i <= DataChips; i++ {
 		c.catchWords[i] = c.rng.Uint64()
 		rank.Chip(i).SetCatchWord(c.catchWords[i])
@@ -98,6 +112,7 @@ func (c *Controller) FCT() *FCT { return c.fct }
 // their XOR parity to chip 8 (Equation 1).
 func (c *Controller) WriteLine(a dram.WordAddr, data Line) {
 	c.stats.Writes++
+	c.m.writes.Inc()
 	var beats [DataChips + 1]uint64
 	copy(beats[:DataChips], data[:])
 	beats[parityChip] = ecc.Parity(data[:])
@@ -108,6 +123,7 @@ func (c *Controller) WriteLine(a dram.WordAddr, data Line) {
 // §V-§VII. The returned data is best-effort even for OutcomeDUE.
 func (c *Controller) ReadLine(a dram.WordAddr) ReadResult {
 	c.stats.Reads++
+	c.m.reads.Inc()
 	c.readBuf = c.rank.ReadLineInto(a, c.readBuf)
 	raw := c.readBuf
 
@@ -120,11 +136,15 @@ func (c *Controller) ReadLine(a dram.WordAddr) ReadResult {
 		}
 	}
 	c.stats.CatchWordsSeen += uint64(len(flagged))
+	if len(flagged) > 0 {
+		c.m.catchWordsSeen.Add(uint64(len(flagged)))
+	}
 
 	switch len(flagged) {
 	case 0:
 		if ecc.CheckParity(words[:DataChips], words[parityChip]) {
 			c.stats.CleanReads++
+			c.m.cleanReads.Inc()
 			return ReadResult{Data: toLine(words), Outcome: OutcomeClean}
 		}
 		// Parity mismatch with no catch-word: the on-die code missed
@@ -162,6 +182,7 @@ func (c *Controller) correctSingleErasure(a dram.WordAddr, words [DataChips + 1]
 			// the expected time between collisions stays ~3.2M years.
 			res.Collision = true
 			c.stats.Collisions++
+			c.m.collisions.Inc()
 			c.events.append(EventCollision, a, k)
 			c.regenerateCatchWord(k)
 		}
@@ -169,6 +190,7 @@ func (c *Controller) correctSingleErasure(a dram.WordAddr, words [DataChips + 1]
 		res.Data = toLine(words)
 	}
 	c.stats.ErasureCorrections++
+	c.m.erasureCorrections.Inc()
 	return res
 }
 
@@ -192,6 +214,7 @@ func (c *Controller) serialModeCorrect(a dram.WordAddr, _ [DataChips + 1]uint64,
 	}
 	if ecc.CheckParity(words[:DataChips], words[parityChip]) {
 		c.stats.SerialCorrections++
+		c.m.serialCorrections.Inc()
 		c.events.append(EventSerialMode, a, -1)
 		return ReadResult{Data: toLine(words), Outcome: OutcomeCorrectedSerial, FaultyChips: flagged}
 	}
@@ -217,6 +240,7 @@ func (c *Controller) regenerateCatchWord(k int) {
 	c.catchWords[k] = next
 	c.rank.Chip(k).SetCatchWord(next)
 	c.stats.CatchWordUpdates++
+	c.m.catchWordUpdates.Inc()
 }
 
 func toLine(words [DataChips + 1]uint64) Line {

@@ -25,6 +25,7 @@ func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) Rea
 	if chip := c.interLineDiagnosis(a); chip >= 0 {
 		if c.fct.Insert(a.Bank, a.Row, chip) {
 			c.stats.FCTChipMarks++
+			c.m.fctChipMarks.Inc()
 			c.events.append(EventChipMarked, dram.WordAddr{}, chip)
 		}
 		c.events.append(EventDiagnosis, a, chip)
@@ -36,6 +37,7 @@ func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) Rea
 		// the same chip it is permanently marked (§VI-A).
 		if c.fct.Insert(a.Bank, a.Row, chip) {
 			c.stats.FCTChipMarks++
+			c.m.fctChipMarks.Inc()
 			c.events.append(EventChipMarked, dram.WordAddr{}, chip)
 		}
 		c.events.append(EventDiagnosis, a, chip)
@@ -44,6 +46,7 @@ func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) Rea
 	// Both diagnoses failed (the transient-word-fault case of §VIII):
 	// detected but uncorrectable.
 	c.stats.DUEs++
+	c.m.dues.Inc()
 	c.events.append(EventDUE, a, -1)
 	res := ReadResult{Outcome: OutcomeDUE}
 	if hintWords != nil {
@@ -69,6 +72,7 @@ func (c *Controller) diagnoseAndCorrect(a dram.WordAddr, hintWords []uint64) Rea
 // Returns the faulty chip or -1.
 func (c *Controller) interLineDiagnosis(a dram.WordAddr) int {
 	c.stats.InterLineRuns++
+	c.m.interLineRuns.Inc()
 	geom := c.rank.Geometry()
 	var counts [DataChips + 1]int
 	for col := 0; col < geom.ColsPerRow; col++ {
@@ -106,6 +110,7 @@ func (c *Controller) interLineDiagnosis(a dram.WordAddr) int {
 // content is restored before returning. Returns the faulty chip or -1.
 func (c *Controller) intraLineDiagnosis(a dram.WordAddr) int {
 	c.stats.IntraLineRuns++
+	c.m.intraLineRuns.Inc()
 	// Buffer the suspect line as raw (on-die corrected where possible)
 	// words.
 	var buffer [DataChips + 1]uint64
@@ -159,5 +164,6 @@ func (c *Controller) reconstructAgainstChip(a dram.WordAddr, k int, outcome Outc
 		words[parityChip] = ecc.Parity(words[:DataChips])
 	}
 	c.stats.DiagCorrections++
+	c.m.diagCorrections.Inc()
 	return ReadResult{Data: toLine(words), Outcome: outcome, FaultyChips: c.faultyOne(k)}
 }

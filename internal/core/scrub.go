@@ -14,7 +14,15 @@ type Scrubber struct {
 	ctrl *Controller
 	pos  dram.WordAddr
 
+	// sincePass counts lines scrubbed since the last completed pass. A
+	// pass completes when every line of the rank has been visited once
+	// since the pass began — NOT when the walk wraps through address
+	// zero, which for a scrubber that is mid-rank when a pass starts
+	// happens after fewer lines than the rank holds.
+	sincePass uint64
+
 	stats ScrubStats
+	m     scrubMetrics
 }
 
 // ScrubStats counts scrubber activity.
@@ -22,12 +30,15 @@ type ScrubStats struct {
 	LinesScrubbed uint64
 	Corrections   uint64
 	DUEs          uint64
-	PassesDone    uint64
+	// PassesDone counts completed full passes: Banks·Rows·Cols lines
+	// visited since the pass began, wherever in the rank it began.
+	PassesDone uint64
 }
 
-// NewScrubber starts a scrubber at address zero.
+// NewScrubber starts a scrubber at address zero. It inherits the metrics
+// registry (if any) of the controller it patrols.
 func NewScrubber(ctrl *Controller) *Scrubber {
-	return &Scrubber{ctrl: ctrl}
+	return &Scrubber{ctrl: ctrl, m: newScrubMetrics(ctrl.obsReg)}
 }
 
 // Stats returns a copy of the counters.
@@ -37,12 +48,14 @@ func (s *Scrubber) Stats() ScrubStats { return s.stats }
 // end of the rank. It returns the number of uncorrectable lines hit.
 func (s *Scrubber) Step(n int) int {
 	geom := s.ctrl.Rank().Geometry()
+	total := uint64(geom.Banks * geom.RowsPerBank * geom.ColsPerRow)
 	dues := 0
 	for i := 0; i < n; i++ {
 		res := s.ctrl.ReadLine(s.pos)
 		switch res.Outcome {
 		case OutcomeDUE:
 			s.stats.DUEs++
+			s.m.dues.Inc()
 			dues++
 			// Data is unrecoverable; leave the line for the OS to
 			// retire rather than laundering bad data.
@@ -50,16 +63,30 @@ func (s *Scrubber) Step(n int) int {
 			// Nothing to heal; skip the write-back.
 		default:
 			s.stats.Corrections++
+			s.m.corrections.Inc()
 			s.ctrl.WriteLine(s.pos, res.Data)
 		}
 		s.stats.LinesScrubbed++
+		s.m.lines.Inc()
+		s.sincePass++
+		if s.sincePass == total {
+			s.stats.PassesDone++
+			s.m.passes.Inc()
+			s.sincePass = 0
+		}
 		s.advance(geom)
 	}
 	return dues
 }
 
-// FullPass scrubs the entire rank once and returns the DUE count.
+// FullPass scrubs one complete wrap from the scrubber's current position —
+// every line of the rank exactly once — and returns the DUE count. The
+// wrap is itself the pass: the boundary realigns to the current position,
+// so any partial progress from earlier Step calls is discarded rather than
+// letting the next address-zero wrap credit a pass that visited fewer than
+// rank-size lines since the last one.
 func (s *Scrubber) FullPass() int {
+	s.sincePass = 0
 	geom := s.ctrl.Rank().Geometry()
 	lines := geom.Banks * geom.RowsPerBank * geom.ColsPerRow
 	return s.Step(lines)
@@ -81,5 +108,4 @@ func (s *Scrubber) advance(geom dram.Geometry) {
 		return
 	}
 	s.pos.Bank = 0
-	s.stats.PassesDone++
 }

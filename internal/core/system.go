@@ -5,6 +5,7 @@ import (
 
 	"xedsim/internal/dram"
 	"xedsim/internal/ecc"
+	"xedsim/internal/obs"
 	"xedsim/internal/simrand"
 )
 
@@ -28,6 +29,9 @@ type MemorySystemConfig struct {
 	// ScalingFaultRate seeds birthtime weak cells (0 disables).
 	ScalingFaultRate float64
 	Seed             uint64
+	// Metrics, when non-nil, mirrors every controller's activity counters
+	// into one shared registry (fleet totals under "core.*" names).
+	Metrics *obs.Registry
 }
 
 // NewMemorySystem builds the fleet with per-rank XED controllers. It
@@ -57,7 +61,7 @@ func NewMemorySystem(cfg MemorySystemConfig) (*MemorySystem, error) {
 					})
 				}
 			}
-			row = append(row, NewController(rank, rng.Uint64()))
+			row = append(row, NewController(rank, rng.Uint64(), WithMetrics(cfg.Metrics)))
 		}
 		m.ctrls = append(m.ctrls, row)
 	}

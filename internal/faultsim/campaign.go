@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"xedsim/internal/checkpoint"
+	"xedsim/internal/obs"
 	"xedsim/internal/simrand"
 )
 
@@ -94,6 +95,13 @@ type CampaignOptions struct {
 	// (and once at startup when resuming): completed and total chunk
 	// counts. It is called from worker goroutines, serialised.
 	OnChunk func(doneChunks, totalChunks int)
+	// Metrics, when non-nil, publishes live campaign counters under
+	// "campaign.*" names: trial/chunk progress, per-scheme failure
+	// tallies, trial errors and checkpoint save latency. Tallies advance
+	// at chunk granularity (under the merge lock, off the trial hot
+	// path); only campaign.trials_evaluated ticks per evaluated trial,
+	// with a single nil-safe atomic add.
+	Metrics *obs.Registry
 }
 
 // TrialError records one panicking trial: where it was, the serialized RNG
@@ -210,6 +218,46 @@ type engine struct {
 
 	onChunkMu sync.Mutex         // serialises the OnChunk callback
 	cancel    context.CancelFunc // cancels workers on fatal engine error
+
+	met campaignMetrics
+}
+
+// campaignMetrics holds pre-resolved obs handles; every field is nil (and
+// every update a no-op) when CampaignOptions.Metrics is unset.
+type campaignMetrics struct {
+	trialsRequested *obs.Gauge
+	trialsDone      *obs.Counter
+	trialErrors     *obs.Counter
+	chunksDone      *obs.Counter
+	chunksTotal     *obs.Gauge
+	errorBudget     *obs.Gauge
+	ckptSaves       *obs.Counter
+	ckptSaveMS      *obs.Histogram
+
+	// Per-scheme tallies, parallel to the engine's scheme slice.
+	failures []*obs.Counter
+	dues     []*obs.Counter
+	sdcs     []*obs.Counter
+}
+
+func newCampaignMetrics(r *obs.Registry, schemes []Scheme) campaignMetrics {
+	m := campaignMetrics{
+		trialsRequested: r.Gauge("campaign.trials_requested"),
+		trialsDone:      r.Counter("campaign.trials_done"),
+		trialErrors:     r.Counter("campaign.trial_errors"),
+		chunksDone:      r.Counter("campaign.chunks_done"),
+		chunksTotal:     r.Gauge("campaign.chunks_total"),
+		errorBudget:     r.Gauge("campaign.error_budget"),
+		ckptSaves:       r.Counter("campaign.checkpoint.saves"),
+		ckptSaveMS:      r.Histogram("campaign.checkpoint.save_ms", []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}),
+	}
+	for _, s := range schemes {
+		prefix := "campaign.scheme." + s.Name()
+		m.failures = append(m.failures, r.Counter(prefix+".failures"))
+		m.dues = append(m.dues, r.Counter(prefix+".dues"))
+		m.sdcs = append(m.sdcs, r.Counter(prefix+".sdcs"))
+	}
+	return m
 }
 
 // RunCampaign executes a resilient Monte-Carlo campaign. It honours ctx
@@ -283,6 +331,22 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 			return nil, err
 		}
 	}
+	e.met = newCampaignMetrics(opts.Metrics, schemes)
+	e.met.trialsRequested.Add(int64(opts.Trials))
+	e.met.chunksTotal.Add(int64(e.nChunks))
+	e.met.errorBudget.Set(int64(opts.ErrorBudget))
+	if e.doneChunks > 0 {
+		// Resumed progress is visible immediately, so live trials/s and
+		// tallies start from the snapshot's frontier rather than zero.
+		e.met.chunksDone.Add(uint64(e.doneChunks))
+		e.met.trialsDone.Add(e.doneTrials)
+		e.met.trialErrors.Add(uint64(len(e.trialErrs)))
+		for s := range e.accum {
+			e.met.failures[s].Add(e.accum[s].Failures)
+			e.met.dues[s].Add(e.accum[s].DUEs)
+			e.met.sdcs[s].Add(e.accum[s].SDCs)
+		}
+	}
 	e.lastSave = time.Now()
 	if opts.OnChunk != nil && e.doneChunks > 0 {
 		opts.OnChunk(e.doneChunks, e.nChunks)
@@ -325,6 +389,9 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 // worker pulls chunk indices until the queue drains or ctx cancels.
 func (e *engine) worker(ctx context.Context) {
 	w := newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years)
+	// Per-trial evaluation counter: a single nil-safe atomic add on the
+	// non-empty-trial path (nil registry → nil counter → no-op).
+	w.ev.SetTrialCounter(e.opts.Metrics.Counter("campaign.trials_evaluated"))
 	for {
 		if ctx.Err() != nil {
 			return
@@ -397,6 +464,17 @@ func (e *engine) merge(c int, w *campaignWorker) bool {
 	failed := e.failed
 	e.mu.Unlock()
 
+	// Live tallies advance per merged chunk — atomic adds only, outside
+	// the accumulator lock and far off the per-trial hot path.
+	e.met.chunksDone.Inc()
+	e.met.trialsDone.Add(uint64(hi-lo) - uint64(len(w.errs)))
+	e.met.trialErrors.Add(uint64(len(w.errs)))
+	for s := range e.met.failures {
+		e.met.failures[s].Add(w.total[s])
+		e.met.dues[s].Add(w.dues[s])
+		e.met.sdcs[s].Add(w.sdcs[s])
+	}
+
 	if e.opts.OnChunk != nil {
 		e.onChunkSerialised(done, total)
 	}
@@ -434,9 +512,12 @@ func (e *engine) saveLocked() error {
 		Errors:     e.trialErrs,
 	}
 	sort.Slice(snap.Errors, func(i, j int) bool { return snap.Errors[i].Trial < snap.Errors[j].Trial })
+	start := time.Now()
 	if err := checkpoint.Save(e.opts.CheckpointPath, checkpointKind, checkpointVersion, e.hash, &snap); err != nil {
 		return err
 	}
+	e.met.ckptSaves.Inc()
+	e.met.ckptSaveMS.Observe(float64(time.Since(start).Microseconds()) / 1e3)
 	e.lastSave = time.Now()
 	return nil
 }

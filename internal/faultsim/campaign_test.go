@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xedsim/internal/checkpoint"
+	"xedsim/internal/obs"
 )
 
 // campaignTestOpts is the shared shape: small enough to run in
@@ -47,6 +48,58 @@ func TestRunCampaignWorkerCountInvariant(t *testing.T) {
 	}
 	if reference.Trials != uint64(campaignTestOpts().Trials) {
 		t.Fatalf("tallied %d of %d trials", reference.Trials, campaignTestOpts().Trials)
+	}
+}
+
+// TestRunCampaignMetrics: a metrics registry attached to a campaign ends
+// the run agreeing exactly with the Report — trials, chunks, per-scheme
+// tallies, checkpoint saves — and the evaluated-trial counter covers every
+// non-empty trial.
+func TestRunCampaignMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	reg := obs.NewRegistry()
+	opts := campaignTestOpts()
+	opts.Workers = 4
+	opts.CheckpointPath = filepath.Join(t.TempDir(), "snap.json")
+	opts.Metrics = reg
+	rep := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign.trials_done"]; got != rep.Trials {
+		t.Fatalf("trials_done = %d, Report.Trials = %d", got, rep.Trials)
+	}
+	wantChunks := (opts.Trials + opts.ChunkSize - 1) / opts.ChunkSize
+	if got := snap.Counters["campaign.chunks_done"]; got != uint64(wantChunks) {
+		t.Fatalf("chunks_done = %d, want %d", got, wantChunks)
+	}
+	if got := snap.Gauges["campaign.chunks_total"]; got != int64(wantChunks) {
+		t.Fatalf("chunks_total = %d, want %d", got, wantChunks)
+	}
+	if got := snap.Gauges["campaign.trials_requested"]; got != int64(opts.Trials) {
+		t.Fatalf("trials_requested = %d, want %d", got, opts.Trials)
+	}
+	for _, res := range rep.Results {
+		prefix := "campaign.scheme." + res.SchemeName
+		if got := snap.Counters[prefix+".failures"]; got != res.Failures {
+			t.Fatalf("%s.failures = %d, Report says %d", prefix, got, res.Failures)
+		}
+		if got := snap.Counters[prefix+".dues"]; got != res.DUEs {
+			t.Fatalf("%s.dues = %d, Report says %d", prefix, got, res.DUEs)
+		}
+		if got := snap.Counters[prefix+".sdcs"]; got != res.SDCs {
+			t.Fatalf("%s.sdcs = %d, Report says %d", prefix, got, res.SDCs)
+		}
+	}
+	// The final snapshot is always written, so at least one timed save.
+	saves := snap.Counters["campaign.checkpoint.saves"]
+	if saves == 0 {
+		t.Fatal("no checkpoint saves recorded")
+	}
+	if h := snap.Histograms["campaign.checkpoint.save_ms"]; h.Count != saves {
+		t.Fatalf("save_ms histogram count %d != saves %d", h.Count, saves)
+	}
+	if got := snap.Counters["campaign.trials_evaluated"]; got == 0 || got > rep.Trials {
+		t.Fatalf("trials_evaluated = %d, want in (0, %d]", got, rep.Trials)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"xedsim/internal/dram"
+	"xedsim/internal/obs"
 )
 
 // TrialOutcome is one scheme's verdict on one trial: the earliest failure
@@ -66,6 +67,10 @@ type Evaluator struct {
 
 	emptyOut     []TrialOutcome
 	emptySurvive bool
+
+	// trials ticks once per EvaluateInto call when instrumentation is
+	// attached; a nil counter makes the add a no-op (see SetTrialCounter).
+	trials *obs.Counter
 }
 
 type schemeEval struct {
@@ -102,6 +107,11 @@ func NewEvaluator(cfg *Config, schemes []Scheme) *Evaluator {
 // under every scheme. When true, the campaign loop may account zero-fault
 // trials wholesale (see generator.nextNonEmpty) instead of evaluating each.
 func (e *Evaluator) EmptyTrialsSurvive() bool { return e.emptySurvive }
+
+// SetTrialCounter attaches a live counter ticked once per EvaluateInto
+// call. nil detaches (the default): the per-trial cost is then a single
+// nil check, keeping the uninstrumented hot path untouched.
+func (e *Evaluator) SetTrialCounter(c *obs.Counter) { e.trials = c }
 
 // classLive reports whether a fault of the given class can ever carry
 // nonzero weight under at least one evaluated scheme. When it cannot, the
@@ -160,6 +170,7 @@ func (e *Evaluator) classLive(cls ClassRate) bool {
 // valid until the next call with the same backing array. It performs no
 // heap allocations once out has capacity for all schemes.
 func (e *Evaluator) EvaluateInto(faults []FaultRecord, out []TrialOutcome) []TrialOutcome {
+	e.trials.Inc()
 	out = out[:0]
 	for i := range e.evals {
 		ev := &e.evals[i]
@@ -208,10 +219,13 @@ func (e *Evaluator) evalDomain(s *domainScheme, faults []FaultRecord) TrialOutco
 			continue
 		}
 		chip := int32((r.Channel*rpc+r.Rank)*cpr + r.Chip)
-		if chip < 0 || chip >= nchips {
-			// A record outside the configured fleet (hand-built or
-			// foreign trace): the fixed-size chip arrays cannot index
-			// it, so fall back to the map-based reference probe.
+		if chip < 0 || chip >= nchips || w > math.MaxInt8 {
+			// Outside the pre-index's envelope: a record beyond the
+			// configured fleet (hand-built or foreign trace) cannot index
+			// the fixed-size chip arrays, and a weight above 127 would
+			// silently wrap in faultEntry's int8 and corrupt probe
+			// totals. Either way, fall back to the map-based reference
+			// probe, which carries full-width ints.
 			e.entries = entries[:0]
 			t, k := s.FailTimeKind(cfg, faults)
 			return TrialOutcome{FailTime: t, Kind: k}

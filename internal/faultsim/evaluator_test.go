@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xedsim/internal/dram"
+	"xedsim/internal/obs"
 	"xedsim/internal/simrand"
 )
 
@@ -120,6 +121,58 @@ func TestEvaluatorOutOfFleetRecordFallsBack(t *testing.T) {
 	}
 }
 
+// TestEvaluatorHighWeightSchemeFallsBack: faultEntry narrows weights into
+// an int8, so a scheme weighing records above 127 must be routed through
+// the map-based reference probe (the same escape hatch as out-of-fleet
+// records) instead of silently wrapping and corrupting probe totals.
+func TestEvaluatorHighWeightSchemeFallsBack(t *testing.T) {
+	cfg := DefaultConfig()
+	// Synthetic organisation: every chip-level fault weighs 200 (> 127;
+	// int8 would wrap it to -56) against a budget of 300, so two
+	// concurrent faulty chips in a rank overflow the budget — but only if
+	// the weights survive unclipped.
+	heavy := &domainScheme{
+		name:     "HeavyErasure",
+		domainOf: rankDomain,
+		capacity: 300,
+		weight: func(cfg *Config, r *FaultRecord) int {
+			if visibleWeight(cfg, r) == 0 {
+				return 0
+			}
+			return 200
+		},
+		kind: xedKind,
+	}
+	schemes := []Scheme{heavy, NewXED()}
+	ev := NewEvaluator(&cfg, schemes)
+
+	overlapping := []FaultRecord{
+		mkRec(1, 0, 2, dram.GranChip, false, 50, cfg.LifetimeHours),
+		mkRec(1, 0, 5, dram.GranChip, false, 60, cfg.LifetimeHours),
+	}
+	lone := []FaultRecord{
+		mkRec(1, 0, 2, dram.GranChip, false, 50, cfg.LifetimeHours),
+	}
+	for name, faults := range map[string][]FaultRecord{"overlapping": overlapping, "lone": lone} {
+		outs := ev.EvaluateInto(faults, nil)
+		for s, scheme := range schemes {
+			wantT, wantK := scheme.(KindedScheme).FailTimeKind(&cfg, faults)
+			if math.Float64bits(outs[s].FailTime) != math.Float64bits(wantT) || outs[s].Kind != wantK {
+				t.Fatalf("%s/%s: got (%v, %v), reference says (%v, %v)",
+					name, scheme.Name(), outs[s].FailTime, outs[s].Kind, wantT, wantK)
+			}
+		}
+	}
+	// The scenario must actually exercise the overflow: two concurrent
+	// 200-weight chips defeat the 300 budget, one does not.
+	if got := ev.EvaluateInto(overlapping, nil)[0].FailTime; got != 60 {
+		t.Fatalf("overlapping heavy faults: fail time %v, want 60", got)
+	}
+	if got := ev.EvaluateInto(lone, nil)[0].FailTime; !math.IsInf(got, 1) {
+		t.Fatalf("lone heavy fault: fail time %v, want +Inf", got)
+	}
+}
+
 // TestRunReportFullyDeterministic asserts Run returns identical Reports —
 // every field, not just failure totals — for repeated calls with the same
 // (cfg, trials, seed, workers).
@@ -158,5 +211,30 @@ func TestEvaluateIntoAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("EvaluateInto allocates %v times per trial, want 0", allocs)
+	}
+}
+
+// TestEvaluateIntoInstrumentedAllocFree holds the same zero-allocation bar
+// with a live trial counter attached — the obs layer's hot-path contract.
+func TestEvaluateIntoInstrumentedAllocFree(t *testing.T) {
+	cfg := inflate(DefaultConfig(), 100)
+	reg := obs.NewRegistry()
+	gen := newGenerator(&cfg)
+	ev := NewEvaluator(&cfg, AllSchemes())
+	ev.SetTrialCounter(reg.Counter("campaign.trials_evaluated"))
+	rng := simrand.New(9)
+	buf := gen.Trial(rng, nil)
+	for len(buf) < 8 {
+		buf = gen.Trial(rng, buf)
+	}
+	outs := ev.EvaluateInto(buf, nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		outs = ev.EvaluateInto(buf, outs)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented EvaluateInto allocates %v times per trial, want 0", allocs)
+	}
+	if got := reg.Snapshot().Counters["campaign.trials_evaluated"]; got < 200 {
+		t.Fatalf("trial counter = %d, want >= 200", got)
 	}
 }

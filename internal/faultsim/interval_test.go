@@ -1,0 +1,37 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	// Zero trials: vacuous full interval.
+	if lo, hi := WilsonInterval(0, 0); lo != 0 || hi != 1 {
+		t.Fatalf("n=0: (%v, %v)", lo, hi)
+	}
+	// Textbook value: 10/100 → approximately (0.0552, 0.1744).
+	lo, hi := WilsonInterval(10, 100)
+	if math.Abs(lo-0.0552) > 5e-4 || math.Abs(hi-0.1744) > 5e-4 {
+		t.Fatalf("10/100: (%v, %v), want ≈(0.0552, 0.1744)", lo, hi)
+	}
+	// Extremes stay inside [0, 1] and keep honest width: zero successes
+	// still admits nonzero probability, certainty is never claimed.
+	lo, hi = WilsonInterval(0, 1_000_000)
+	if lo > 1e-12 || hi <= 0 || hi > 1e-5 {
+		t.Fatalf("0/1e6: (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(1_000_000, 1_000_000)
+	if hi < 1-1e-12 || hi > 1 || lo < 1-1e-5 || lo >= hi {
+		t.Fatalf("1e6/1e6: (%v, %v)", lo, hi)
+	}
+	// The interval brackets the point estimate and narrows with n.
+	lo1, hi1 := WilsonInterval(50, 1000)
+	lo2, hi2 := WilsonInterval(5000, 100_000)
+	if lo1 > 0.05 || hi1 < 0.05 || lo2 > 0.05 || hi2 < 0.05 {
+		t.Fatal("interval does not bracket p = 0.05")
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("interval did not narrow: n=1000 width %v, n=100000 width %v", hi1-lo1, hi2-lo2)
+	}
+}

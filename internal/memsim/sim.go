@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"xedsim/internal/dram"
+	"xedsim/internal/obs"
 	"xedsim/internal/simrand"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	// core replays this recorded USIMM-format stream (rate mode), with
 	// per-core offsets so the copies do not run in lockstep.
 	TraceOps []TraceOpRecord
+
+	// Metrics, when non-nil, publishes live counters under "memsim.*"
+	// names: demand traffic, a read-latency histogram (bus cycles) and
+	// bank conflicts (activations that had to close another row first).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig is the paper's baseline system (Table V) at a trace length
@@ -148,6 +154,10 @@ type Simulator struct {
 
 	res Result
 
+	// Pre-resolved obs handles; nil (no-op) without Config.Metrics.
+	mReads, mWrites, mBankConflicts *obs.Counter
+	mReadLatency                    *obs.Histogram
+
 	debug debugHook
 }
 
@@ -204,6 +214,11 @@ func New(cfg Config) *Simulator {
 	}
 	s.res.Workload = cfg.Workload.Name
 	s.res.Scheme = cfg.Scheme.Name
+	s.mReads = cfg.Metrics.Counter("memsim.reads")
+	s.mWrites = cfg.Metrics.Counter("memsim.writes")
+	s.mBankConflicts = cfg.Metrics.Counter("memsim.bank_conflicts")
+	s.mReadLatency = cfg.Metrics.Histogram("memsim.read_latency_cycles",
+		[]float64{20, 40, 60, 80, 120, 160, 240, 320, 640})
 	return s
 }
 
@@ -224,6 +239,7 @@ func (s *Simulator) enqueueRead(c *core, entry *robEntry, op *traceOp) {
 	}
 	ch.readQ.push(r)
 	s.res.Reads++
+	s.mReads.Inc()
 	if n := s.cfg.Scheme.SerialModeEvery; n > 0 && s.res.Reads%int64(n) == 0 {
 		// Serial-mode episode: quiesce, MRS-toggle, re-read, verify —
 		// two additional row-hit transfers on the same line.
@@ -261,6 +277,7 @@ func (s *Simulator) enqueueWrite(op *traceOp) bool {
 	}
 	ch.writeQ.push(w)
 	s.res.Writes++
+	s.mWrites.Inc()
 	if s.cfg.Scheme.ExtraReadPerWrite {
 		// Read-modify-write: fetch the checksum line before updating.
 		rd := *w
@@ -311,6 +328,7 @@ func (s *Simulator) RunContext(ctx context.Context) Result {
 					e.owner.outstanding--
 				}
 				s.res.SumReadLatency += s.now - arrivals[i]
+				s.mReadLatency.Observe(float64(s.now - arrivals[i]))
 			}
 			delete(s.completions, s.now)
 			delete(s.latencies, s.now)
@@ -596,6 +614,12 @@ func (s *Simulator) prepare(base int, r *request) bool {
 	}
 	if s.debug != nil {
 		s.debug("ACT", r, 0, 0)
+	}
+	// A conflict (not a cold miss): the request's bank holds a different
+	// open row that must be precharged first. One count per request, read
+	// off the gang's base bank before the commit pass mutates it.
+	if s.channels[base].ranks[physRank0].banks[r.bank].openRow != -1 {
+		s.mBankConflicts.Inc()
 	}
 	// Commit pass.
 	for g := 0; g < sc.ChannelsPerAccess; g++ {

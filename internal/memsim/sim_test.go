@@ -3,6 +3,8 @@ package memsim
 import (
 	"context"
 	"testing"
+
+	"xedsim/internal/obs"
 )
 
 func quickCfg(w Workload, s SchemeConfig) Config {
@@ -287,5 +289,33 @@ func BenchmarkSimulatorSECDED(b *testing.B) {
 		cfg := DefaultConfig(w, SECDEDScheme())
 		cfg.InstrPerCore = 20_000
 		New(cfg).Run()
+	}
+}
+
+// TestSimulatorMetrics: a metrics registry attached to a simulation ends
+// the run agreeing with the Result counters, and the latency histogram
+// holds one observation per completed demand read with the right mean.
+func TestSimulatorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := quickCfg(mustWorkload(t, "libquantum"), SECDEDScheme())
+	cfg.Metrics = reg
+	res := New(cfg).Run()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["memsim.reads"]; got != uint64(res.Reads) {
+		t.Fatalf("memsim.reads = %d, Result.Reads = %d", got, res.Reads)
+	}
+	if got := snap.Counters["memsim.writes"]; got != uint64(res.Writes) {
+		t.Fatalf("memsim.writes = %d, Result.Writes = %d", got, res.Writes)
+	}
+	h := snap.Histograms["memsim.read_latency_cycles"]
+	if h.Count == 0 || h.Count > uint64(res.Reads) {
+		t.Fatalf("latency observations = %d, want in (0, %d]", h.Count, res.Reads)
+	}
+	if h.Sum > float64(res.SumReadLatency) || h.Sum <= 0 {
+		t.Fatalf("latency sum = %v, Result.SumReadLatency = %d", h.Sum, res.SumReadLatency)
+	}
+	if snap.Counters["memsim.bank_conflicts"] == 0 {
+		t.Fatal("no bank conflicts recorded over a full run")
 	}
 }

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns the debug HTTP mux the -debug-addr CLI flags serve: the
+// registry's JSON snapshot at /metrics (and the expvar-convention alias
+// /debug/vars), plus the standard pprof handlers under /debug/pprof/, so a
+// live campaign can be profiled and watched over one port.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	metrics := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort over HTTP
+	}
+	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/debug/vars", metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>xedsim debug</h1><ul>` + //nolint:errcheck
+			`<li><a href="/metrics">/metrics</a></li>` +
+			`<li><a href="/debug/pprof/">/debug/pprof/</a></li>` +
+			`</ul></body></html>`))
+	})
+	return mux
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMuxServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.trials_done").Add(42)
+	r.Histogram("lat", []float64{1, 10}).Observe(3)
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var snap Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if snap.Counters["campaign.trials_done"] != 42 {
+			t.Fatalf("%s: counters = %v", path, snap.Counters)
+		}
+		if snap.Histograms["lat"].Count != 1 {
+			t.Fatalf("%s: histograms = %v", path, snap.Histograms)
+		}
+	}
+
+	// pprof is mounted on the same mux (the -debug-addr contract).
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/no-such-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
