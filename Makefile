@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench bench-save benchstat race fuzz ci experiments clean
+.PHONY: all build test vet verify bench bench-save benchstat race fuzz ci experiments clean
 
 all: build vet test
 
@@ -13,8 +13,14 @@ vet:
 test:
 	go test ./...
 
+# Statistical conformance gate: runs the paper-claim table (SPRT-bounded
+# campaigns, exhaustive code checks, evaluator differential sweep) and
+# exits nonzero unless every claim is CONFIRMED. See internal/conformance.
+verify:
+	go run ./cmd/xedverify
+
 race:
-	go test -race ./internal/faultsim/ ./internal/memsim/
+	go test -race -short ./...
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -44,14 +50,22 @@ benchstat:
 		echo "--- bench.new ---"; grep '^Benchmark' bench.new; \
 	fi
 
+# One -fuzz target per invocation is a go tool constraint; FUZZTIME
+# scales all of them.
+FUZZTIME ?= 30s
 fuzz:
-	go test -fuzz=FuzzCode64CRC8 -fuzztime=30s ./internal/ecc/
+	go test -fuzz=FuzzCode64CRC8 -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
+	go test -fuzz=FuzzCRC8Miscorrection -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
+	go test -fuzz=FuzzRSErasureRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
+	go test -fuzz=FuzzEvaluatorVsReference -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
 
 # Everything CI runs (see .github/workflows/ci.yml), runnable locally.
 ci:
 	go vet ./...
 	go build ./...
-	go test -race ./...
+	go test ./...
+	go run ./cmd/xedverify
+	go test -race -short ./...
 	go test -run='^$$' -bench=TableI -benchtime=1x ./...
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).

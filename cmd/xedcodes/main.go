@@ -17,11 +17,42 @@ import (
 	"xedsim/internal/ecc"
 )
 
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedcodes: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	experiment string
+	samples    int
+}
+
+// validateArgs returns the message usageErr should print, or nil. A
+// non-positive -samples would make the Table II Monte-Carlo cells divide
+// by zero, so it is rejected up front.
+func validateArgs(a cliArgs) error {
+	if a.samples <= 0 {
+		return fmt.Errorf("-samples must be positive, got %d", a.samples)
+	}
+	switch a.experiment {
+	case "all", "table2", "fig6", "table3", "table4":
+	default:
+		return fmt.Errorf("unknown experiment %q", a.experiment)
+	}
+	return nil
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "table2|fig6|table3|table4|all")
 	samples := flag.Int("samples", 2_000_000, "Monte-Carlo samples per Table II cell (k >= 5)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
+	if err := validateArgs(cliArgs{experiment: *experiment, samples: *samples}); err != nil {
+		usageErr("%v", err)
+	}
 
 	switch *experiment {
 	case "all":
@@ -40,9 +71,6 @@ func main() {
 		table3()
 	case "table4":
 		table4()
-	default:
-		fmt.Fprintf(os.Stderr, "xedcodes: unknown experiment %q\n", *experiment)
-		os.Exit(2)
 	}
 }
 

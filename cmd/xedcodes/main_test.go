@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateArgs pins the flag-range validation behind the exit-2 usage
+// convention.
+func TestValidateArgs(t *testing.T) {
+	valid := cliArgs{experiment: "table2", samples: 1000}
+	if err := validateArgs(valid); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*cliArgs)
+		want string
+	}{
+		{"zero samples", func(a *cliArgs) { a.samples = 0 }, "-samples"},
+		{"negative samples", func(a *cliArgs) { a.samples = -1 }, "-samples"},
+		{"unknown experiment", func(a *cliArgs) { a.experiment = "table9" }, "unknown experiment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := valid
+			tc.mut(&a)
+			err := validateArgs(a)
+			if err == nil {
+				t.Fatalf("%+v accepted", a)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	for _, exp := range []string{"all", "table2", "fig6", "table3", "table4"} {
+		a := valid
+		a.experiment = exp
+		if err := validateArgs(a); err != nil {
+			t.Errorf("experiment %q rejected: %v", exp, err)
+		}
+	}
+}

@@ -30,6 +30,36 @@ import (
 	"xedsim/internal/profiling"
 )
 
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedmemsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	experiment string
+	instr      int64
+	workers    int
+}
+
+// validateArgs returns the message usageErr should print, or nil.
+func validateArgs(a cliArgs) error {
+	if a.instr <= 0 {
+		return fmt.Errorf("-instr must be positive, got %d", a.instr)
+	}
+	if a.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", a.workers)
+	}
+	switch a.experiment {
+	case "all", "fig11", "fig12", "fig13", "fig14":
+	default:
+		return fmt.Errorf("unknown experiment %q", a.experiment)
+	}
+	return nil
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "fig11|fig12|fig13|fig14|all")
 	instr := flag.Int64("instr", 150_000, "instructions per core")
@@ -37,22 +67,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
-	if *instr <= 0 {
-		fmt.Fprintf(os.Stderr, "xedmemsim: -instr must be positive, got %d\n", *instr)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "xedmemsim: -workers must be >= 0, got %d\n", *workers)
-		flag.Usage()
-		os.Exit(2)
-	}
-	switch *experiment {
-	case "all", "fig11", "fig12", "fig13", "fig14":
-	default:
-		fmt.Fprintf(os.Stderr, "xedmemsim: unknown experiment %q\n", *experiment)
-		flag.Usage()
-		os.Exit(2)
+	if err := validateArgs(cliArgs{experiment: *experiment, instr: *instr, workers: *workers}); err != nil {
+		usageErr("%v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateArgs pins the flag-range validation behind the exit-2 usage
+// convention.
+func TestValidateArgs(t *testing.T) {
+	valid := cliArgs{experiment: "fig11", instr: 100_000}
+	if err := validateArgs(valid); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*cliArgs)
+		want string
+	}{
+		{"zero instr", func(a *cliArgs) { a.instr = 0 }, "-instr"},
+		{"negative instr", func(a *cliArgs) { a.instr = -1 }, "-instr"},
+		{"negative workers", func(a *cliArgs) { a.workers = -1 }, "-workers"},
+		{"unknown experiment", func(a *cliArgs) { a.experiment = "fig99" }, "unknown experiment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := valid
+			tc.mut(&a)
+			err := validateArgs(a)
+			if err == nil {
+				t.Fatalf("%+v accepted", a)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	for _, exp := range []string{"all", "fig11", "fig12", "fig13", "fig14"} {
+		a := valid
+		a.experiment = exp
+		if err := validateArgs(a); err != nil {
+			t.Errorf("experiment %q rejected: %v", exp, err)
+		}
+	}
+}

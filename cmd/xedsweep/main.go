@@ -22,28 +22,44 @@ import (
 	"xedsim/internal/faultsim"
 )
 
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedsweep: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	sweep   string
+	systems int
+	workers int
+}
+
+// validateArgs returns the message usageErr should print, or nil.
+func validateArgs(a cliArgs) error {
+	if a.systems <= 0 {
+		return fmt.Errorf("-systems must be positive, got %d", a.systems)
+	}
+	if a.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", a.workers)
+	}
+	switch a.sweep {
+	case "fit", "scrub", "scaling", "silent", "aging":
+	default:
+		return fmt.Errorf("unknown sweep %q", a.sweep)
+	}
+	return nil
+}
+
 func main() {
 	sweep := flag.String("sweep", "fit", "fit|scrub|scaling|silent|aging")
 	systems := flag.Int("systems", 500_000, "Monte-Carlo trials per point")
 	seed := flag.Uint64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
-	if *systems <= 0 {
-		fmt.Fprintf(os.Stderr, "xedsweep: -systems must be positive, got %d\n", *systems)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "xedsweep: -workers must be >= 0, got %d\n", *workers)
-		flag.Usage()
-		os.Exit(2)
-	}
-	switch *sweep {
-	case "fit", "scrub", "scaling", "silent", "aging":
-	default:
-		fmt.Fprintf(os.Stderr, "xedsweep: unknown sweep %q\n", *sweep)
-		flag.Usage()
-		os.Exit(2)
+	if err := validateArgs(cliArgs{sweep: *sweep, systems: *systems, workers: *workers}); err != nil {
+		usageErr("%v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

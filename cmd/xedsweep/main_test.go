@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateArgs pins the flag-range validation behind the exit-2 usage
+// convention.
+func TestValidateArgs(t *testing.T) {
+	valid := cliArgs{sweep: "fit", systems: 1000}
+	if err := validateArgs(valid); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*cliArgs)
+		want string
+	}{
+		{"zero systems", func(a *cliArgs) { a.systems = 0 }, "-systems"},
+		{"negative systems", func(a *cliArgs) { a.systems = -5 }, "-systems"},
+		{"negative workers", func(a *cliArgs) { a.workers = -1 }, "-workers"},
+		{"unknown sweep", func(a *cliArgs) { a.sweep = "voltage" }, "unknown sweep"},
+		{"empty sweep", func(a *cliArgs) { a.sweep = "" }, "unknown sweep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := valid
+			tc.mut(&a)
+			err := validateArgs(a)
+			if err == nil {
+				t.Fatalf("%+v accepted", a)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+
+	for _, sweep := range []string{"fit", "scrub", "scaling", "silent", "aging"} {
+		a := valid
+		a.sweep = sweep
+		if err := validateArgs(a); err != nil {
+			t.Errorf("sweep %q rejected: %v", sweep, err)
+		}
+	}
+}

@@ -18,6 +18,56 @@ import (
 	"xedsim/internal/faultsim"
 )
 
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedtrace: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	capture      bool
+	judge, stats string
+	out          string
+	trials       int
+	scaling      float64
+}
+
+// validateArgs returns the message usageErr should print, or nil. Exactly
+// one mode must be selected, and capture parameters are range-checked here
+// rather than surfacing later as Config or CaptureTrace errors.
+func validateArgs(a cliArgs) error {
+	modes := 0
+	if a.capture {
+		modes++
+	}
+	if a.judge != "" {
+		modes++
+	}
+	if a.stats != "" {
+		modes++
+	}
+	if modes == 0 {
+		return fmt.Errorf("pick one of -capture, -judge or -stats")
+	}
+	if modes > 1 {
+		return fmt.Errorf("-capture, -judge and -stats are mutually exclusive")
+	}
+	if a.capture {
+		if a.out == "" {
+			return fmt.Errorf("-capture needs a non-empty -out")
+		}
+		if a.trials <= 0 {
+			return fmt.Errorf("-trials must be positive, got %d", a.trials)
+		}
+		if a.scaling < 0 || a.scaling > 1 {
+			return fmt.Errorf("-scaling must be in [0,1], got %v", a.scaling)
+		}
+	}
+	return nil
+}
+
 func main() {
 	capture := flag.Bool("capture", false, "generate and save a trace")
 	judge := flag.String("judge", "", "trace file to evaluate under all schemes")
@@ -27,6 +77,16 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed for -capture")
 	scaling := flag.Float64("scaling", 0, "scaling-fault rate (e.g. 1e-4)")
 	flag.Parse()
+	if err := validateArgs(cliArgs{
+		capture: *capture,
+		judge:   *judge,
+		stats:   *stats,
+		out:     *out,
+		trials:  *trials,
+		scaling: *scaling,
+	}); err != nil {
+		usageErr("%v", err)
+	}
 
 	switch {
 	case *capture:

@@ -1,0 +1,173 @@
+// Command xedverify runs the conformance claim table: the XED paper's
+// qualitative results encoded as machine-checkable assertions
+// (internal/conformance). It prints one verdict line per claim and exits
+// nonzero unless every claim is CONFIRMED:
+//
+//	xedverify                      # full table, CI defaults
+//	xedverify -list                # print claim names and exit
+//	xedverify -claims fig7/xed-over-secded-10x,table1/fit-inputs
+//	xedverify -seed 7 -max-trials 4000000 -configs 200
+//
+// Statistical claims are decided by a sequential probability-ratio test
+// over Monte-Carlo campaign batches — each claim consumes only as many
+// trials as its margin needs — with -max-trials bounding the worst case.
+// Exit status: 0 all claims confirmed, 1 any claim refuted, inconclusive
+// or errored, 2 flag errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xedsim/internal/conformance"
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedverify: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	claims          string
+	seed            uint64
+	workers         int
+	batch           int
+	maxTrials       int
+	configs         int
+	trialsPerConfig int
+}
+
+// validateArgs returns the message usageErr should print, or nil.
+func validateArgs(a cliArgs) error {
+	if a.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", a.workers)
+	}
+	if a.batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", a.batch)
+	}
+	if a.maxTrials < a.batch {
+		return fmt.Errorf("-max-trials (%d) must be at least -batch (%d)", a.maxTrials, a.batch)
+	}
+	if a.configs <= 0 {
+		return fmt.Errorf("-configs must be positive, got %d", a.configs)
+	}
+	if a.trialsPerConfig <= 0 {
+		return fmt.Errorf("-trials-per-config must be positive, got %d", a.trialsPerConfig)
+	}
+	if a.claims != "" {
+		if _, err := selectedClaims(a.claims); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectedClaims resolves the -claims list against the table.
+func selectedClaims(list string) ([]conformance.Claim, error) {
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return conformance.SelectClaims(conformance.PaperClaims(), names)
+}
+
+func main() {
+	def := conformance.DefaultOptions()
+	claimList := flag.String("claims", "", "comma-separated claim names (default: all; see -list)")
+	list := flag.Bool("list", false, "print the claim table and exit")
+	seed := flag.Uint64("seed", def.Seed, "root seed for campaigns and differential sweeps")
+	workers := flag.Int("workers", 0, "campaign workers (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", def.Batch, "Monte-Carlo trials per sequential-test step")
+	maxTrials := flag.Int("max-trials", def.MaxTrials, "trial budget per statistical claim")
+	configs := flag.Int("configs", def.Configs, "random configs for the evaluator differential claim")
+	trialsPerConfig := flag.Int("trials-per-config", def.TrialsPerConfig, "trials per differential config")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments: %v", flag.Args())
+	}
+
+	if err := validateArgs(cliArgs{
+		claims:          *claimList,
+		seed:            *seed,
+		workers:         *workers,
+		batch:           *batch,
+		maxTrials:       *maxTrials,
+		configs:         *configs,
+		trialsPerConfig: *trialsPerConfig,
+	}); err != nil {
+		usageErr("%v", err)
+	}
+
+	claims, err := selectedClaims(*claimList)
+	if err != nil {
+		usageErr("%v", err) // unreachable after validateArgs; defensive
+	}
+
+	if *list {
+		for _, c := range claims {
+			fmt.Printf("%-34s %-18s %s\n", c.Name, c.Ref, c.Doc)
+		}
+		return
+	}
+
+	opts := conformance.Options{
+		Seed:            *seed,
+		Workers:         *workers,
+		Batch:           *batch,
+		MaxTrials:       *maxTrials,
+		Configs:         *configs,
+		TrialsPerConfig: *trialsPerConfig,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	verdicts := conformance.Run(ctx, claims, opts, func(v conformance.Verdict) {
+		fmt.Println(formatVerdict(v))
+	})
+
+	confirmed := 0
+	for _, v := range verdicts {
+		if v.Status == conformance.Confirmed {
+			confirmed++
+		}
+	}
+	fmt.Printf("\n%d/%d claims confirmed in %v\n", confirmed, len(verdicts), time.Since(start).Round(time.Millisecond))
+	if !conformance.AllConfirmed(verdicts) {
+		os.Exit(1)
+	}
+}
+
+// formatVerdict renders one claim's outcome as a single line:
+//
+//	CONFIRMED  fig7/xed-over-secded-10x   (§VII Fig. 7, 0.50s, 500000 trials, conf 1-1e-09)  P(XED)=...
+func formatVerdict(v conformance.Verdict) string {
+	conf := ""
+	switch {
+	case v.Confidence >= 1:
+		conf = ", exhaustive"
+	case v.Confidence > 0:
+		conf = fmt.Sprintf(", err<=%.2g", 1-v.Confidence)
+	}
+	line := fmt.Sprintf("%-12s %-34s (%s, %.2fs, %d trials%s)",
+		v.Status, v.Claim, v.Ref, v.Elapsed.Seconds(), v.Trials, conf)
+	if v.Detail != "" {
+		line += "  " + v.Detail
+	}
+	if v.Err != nil {
+		line += "  error: " + v.Err.Error()
+	}
+	return line
+}

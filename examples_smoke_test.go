@@ -1,0 +1,50 @@
+package xedsim_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs each examples/ program end to end:
+// exit 0 and a marker line that only prints after the example's full
+// scenario has completed. The examples are the repo's executable
+// documentation — they must not rot as the libraries underneath move.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full scenarios; skipped in -short")
+	}
+	cases := []struct {
+		dir    string
+		marker string
+	}{
+		// Each marker is the example's closing claim, printed after every
+		// assertion in the program has already passed.
+		{"quickstart", "Chipkill-level protection from a commodity 9-chip DIMM"},
+		{"reliability", "with scaling faults at 1e-4"},
+		{"diagnosis", "final stats:"},
+		{"performance", "the Figure 11 mechanism"},
+		{"doublechipkill", "ALERT_n (extended):"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), tc.dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+tc.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("no output")
+			}
+			if !strings.Contains(string(out), tc.marker) {
+				t.Fatalf("output does not contain marker %q:\n%s", tc.marker, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,299 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"xedsim/internal/ecc"
+	"xedsim/internal/faultsim"
+	"xedsim/internal/simrand"
+)
+
+// Exhaustive claims: checks whose input spaces are small enough to sweep
+// completely, so a Confirmed verdict carries confidence 1.
+
+// sampleDataWords returns the data words the codeword sweeps run over:
+// structured corner patterns plus seeded random fill. The SECDED and burst
+// guarantees are linear (they hold for one word iff they hold for all),
+// but sweeping several words keeps the claim honest against nonlinear
+// implementation bugs (lookup-table corruption, masking slips).
+func sampleDataWords(seed uint64, random int) []uint64 {
+	words := []uint64{
+		0,
+		^uint64(0),
+		0xAAAAAAAAAAAAAAAA,
+		0x5555555555555555,
+		0x0123456789ABCDEF,
+	}
+	rng := simrand.New(seed)
+	for i := 0; i < random; i++ {
+		words = append(words, rng.Uint64())
+	}
+	return words
+}
+
+// table1Claim pins the Table I FIT inputs the whole evaluation rests on:
+// the fourteen (granularity, persistence) classes and their totals from
+// Sridharan et al.'s field study. A reproduction that drifts here produces
+// the right orderings for the wrong system.
+func table1Claim() Claim {
+	return Claim{
+		Name: "table1/fit-inputs",
+		Ref:  "§III Table I",
+		Doc:  "FIT table: 14 fault classes, 66.1 total FIT/chip, 33.3 visible past On-Die ECC",
+		Check: func(ctx context.Context, o Options) Verdict {
+			table := faultsim.TableI()
+			const eps = 1e-9
+			if len(table) != 14 {
+				return Verdict{Status: Refuted, Detail: fmt.Sprintf("%d fault classes, want 14", len(table))}
+			}
+			total := float64(table.TotalFIT())
+			visible := float64(table.VisibleFIT())
+			detail := fmt.Sprintf("total %.1f FIT, visible %.1f FIT over %d classes", total, visible, len(table))
+			if math.Abs(total-66.1) > eps || math.Abs(visible-33.3) > eps {
+				return Verdict{Status: Refuted, Detail: detail, Confidence: 1}
+			}
+			cfg := faultsim.DefaultConfig()
+			if err := cfg.Validate(); err != nil {
+				return Verdict{Status: Refuted, Detail: "default config invalid: " + err.Error(), Confidence: 1}
+			}
+			return Verdict{Status: Confirmed, Detail: detail, Trials: uint64(len(table)), Confidence: 1}
+		},
+	}
+}
+
+// secdedCodecs returns the three (72,64) SECDED implementations under test.
+func secdedCodecs() []ecc.Code64 {
+	return []ecc.Code64{ecc.NewHamming(), ecc.NewCRC8ATM(), ecc.NewHsiao()}
+}
+
+// secdedAgreementClaim sweeps every weight-1 and weight-2 error pattern
+// (72 + 2556 per data word) through all three SECDED codecs and demands
+// the §V-E guarantee from each: single-bit errors corrected back to the
+// original data, double-bit errors always detected and never mis-corrected.
+// Since the required verdict is unique, satisfying the guarantee and
+// agreeing with each other are the same claim.
+func secdedAgreementClaim() Claim {
+	return Claim{
+		Name: "secded/weight2-agreement",
+		Ref:  "§V-E Table II",
+		Doc:  "Hamming, CRC8-ATM and Hsiao all correct weight-1 and detect weight-2 patterns",
+		Check: func(ctx context.Context, o Options) Verdict {
+			var patterns uint64
+			for _, data := range sampleDataWords(o.Seed, 3) {
+				for _, code := range secdedCodecs() {
+					clean := code.Encode(data)
+					if !code.IsValid(clean) {
+						return Verdict{Status: Refuted, Confidence: 1,
+							Detail: fmt.Sprintf("%s: Encode(%#x) is not a valid codeword", code.Name(), data)}
+					}
+					for i := 0; i < 72; i++ {
+						one := clean.FlipBit(i)
+						got, st := code.Decode(one)
+						patterns++
+						if code.IsValid(one) || st != ecc.StatusCorrected || got != data {
+							return Verdict{Status: Refuted, Confidence: 1,
+								Detail: fmt.Sprintf("%s: weight-1 flip at bit %d on %#x: status %v, data %#x", code.Name(), i, data, st, got)}
+						}
+						for j := i + 1; j < 72; j++ {
+							two := one.FlipBit(j)
+							_, st := code.Decode(two)
+							patterns++
+							if code.IsValid(two) || st != ecc.StatusDetected {
+								return Verdict{Status: Refuted, Confidence: 1,
+									Detail: fmt.Sprintf("%s: weight-2 flips {%d,%d} on %#x: status %v, want detected", code.Name(), i, j, data, st)}
+							}
+						}
+					}
+				}
+			}
+			return Verdict{Status: Confirmed, Confidence: 1, Trials: patterns,
+				Detail: fmt.Sprintf("%d (codec, data, pattern) decodes, all per guarantee", patterns)}
+		},
+	}
+}
+
+// crc8BurstClaim checks the property that makes CRC8-ATM the paper's
+// recommended on-die code (§V-E): a degree-8 CRC detects *every* burst of
+// length <= 8, where Hamming codes provably miss some. Both halves are
+// asserted — the guarantee for CRC8 and the existence of a missed burst
+// for Hamming — because the contrast is the claim.
+func crc8BurstClaim() Claim {
+	return Claim{
+		Name: "crc8/burst-detection",
+		Ref:  "§V-E",
+		Doc:  "CRC8-ATM detects every burst of length <= 8; Hamming provably does not",
+		Check: func(ctx context.Context, o Options) Verdict {
+			crc := ecc.NewCRC8ATM()
+			ham := ecc.NewHamming()
+			// Bursts are contiguous in each code's *serial* (wire) order,
+			// which is what the degree-8 guarantee speaks about — not in
+			// Codeword72 bit-index order.
+			crcOrder := crc.SerialOrder()
+			hamOrder := ham.SerialOrder()
+			var patterns uint64
+			hammingMisses := 0
+			// A length-L burst is a pattern whose first and last serial
+			// bits are L-1 apart: fixed endpoints, free interior.
+			burst := func(clean ecc.Codeword72, order *[72]int, start, length, mid int) ecc.Codeword72 {
+				cw := clean.FlipBit(order[start])
+				if length >= 2 {
+					cw = cw.FlipBit(order[start+length-1])
+					for b := 0; b < length-2; b++ {
+						if mid&(1<<uint(b)) != 0 {
+							cw = cw.FlipBit(order[start+1+b])
+						}
+					}
+				}
+				return cw
+			}
+			for _, data := range sampleDataWords(o.Seed+1, 2) {
+				crcClean := crc.Encode(data)
+				hamClean := ham.Encode(data)
+				for length := 1; length <= 8; length++ {
+					interior := 1
+					if length >= 2 {
+						interior = 1 << uint(length-2)
+					}
+					for start := 0; start+length <= 72; start++ {
+						for mid := 0; mid < interior; mid++ {
+							patterns++
+							if crc.IsValid(burst(crcClean, &crcOrder, start, length, mid)) {
+								return Verdict{Status: Refuted, Confidence: 1,
+									Detail: fmt.Sprintf("CRC8 missed burst len %d at serial position %d (interior %#x) on data %#x", length, start, mid, data)}
+							}
+							if ham.IsValid(burst(hamClean, &hamOrder, start, length, mid)) {
+								hammingMisses++
+							}
+						}
+					}
+				}
+			}
+			if hammingMisses == 0 {
+				return Verdict{Status: Refuted, Confidence: 1, Trials: patterns,
+					Detail: "Hamming detected every burst <= 8 — the §V-E contrast this claim encodes has vanished"}
+			}
+			return Verdict{Status: Confirmed, Confidence: 1, Trials: patterns,
+				Detail: fmt.Sprintf("%d bursts: CRC8 detected all, Hamming missed %d", patterns, hammingMisses)}
+		},
+	}
+}
+
+// rsXORBridgeClaim ties the two erasure-repair implementations together:
+// RS(8,1)'s single check symbol is the GF(256) sum — the XOR — of the data
+// symbols, so byte-sliced RS erasure decoding must agree with the §V-C
+// RAID-3 word rebuild (ecc.Parity / ecc.Reconstruct) on every single-chip
+// erasure.
+func rsXORBridgeClaim() Claim {
+	return Claim{
+		Name: "rs/xor-bridge",
+		Ref:  "§V-C Eq. (1)-(3)",
+		Doc:  "RS(8,1) erasure decode agrees with RAID-3 XOR reconstruction on single-chip erasures",
+		Check: func(ctx context.Context, o Options) Verdict {
+			rs := ecc.NewRS(ecc.ParityWords, 1)
+			rng := simrand.New(o.Seed + 2)
+			var checks uint64
+			const rounds = 256
+			for round := 0; round < rounds; round++ {
+				words := make([]uint64, ecc.ParityWords)
+				for i := range words {
+					words[i] = rng.Uint64()
+				}
+				parity := ecc.Parity(words)
+				// Byte lane by byte lane: the RS codeword is the 8 data
+				// bytes of one lane plus its check byte.
+				for lane := 0; lane < 8; lane++ {
+					data := make([]uint8, ecc.ParityWords)
+					for i, w := range words {
+						data[i] = uint8(w >> uint(8*lane))
+					}
+					cw := rs.Encode(data)
+					if want := uint8(parity >> uint(8*lane)); cw[ecc.ParityWords] != want {
+						return Verdict{Status: Refuted, Confidence: 1,
+							Detail: fmt.Sprintf("lane %d: RS check symbol %#x != XOR parity byte %#x", lane, cw[ecc.ParityWords], want)}
+					}
+				}
+				// Erase each chip in turn and rebuild both ways.
+				for erased := 0; erased < ecc.ParityWords; erased++ {
+					rebuilt := ecc.Reconstruct(words, parity, erased)
+					if rebuilt != words[erased] {
+						return Verdict{Status: Refuted, Confidence: 1,
+							Detail: fmt.Sprintf("RAID-3 rebuild of word %d returned %#x, want %#x", erased, rebuilt, words[erased])}
+					}
+					for lane := 0; lane < 8; lane++ {
+						cw := make([]uint8, ecc.ParityWords+1)
+						for i, w := range words {
+							cw[i] = uint8(w >> uint(8*lane))
+						}
+						cw[ecc.ParityWords] = uint8(parity >> uint(8*lane))
+						cw[erased] ^= uint8(rng.Uint64() | 1) // corrupt the erased symbol
+						fixed, err := rs.CorrectErasuresOnly(cw, []int{erased})
+						if err != nil {
+							return Verdict{Status: Refuted, Confidence: 1,
+								Detail: fmt.Sprintf("RS erasure decode failed for chip %d lane %d: %v", erased, lane, err)}
+						}
+						if want := uint8(rebuilt >> uint(8*lane)); fixed[erased] != want {
+							return Verdict{Status: Refuted, Confidence: 1,
+								Detail: fmt.Sprintf("chip %d lane %d: RS rebuilt %#x, RAID-3 rebuilt %#x", erased, lane, fixed[erased], want)}
+						}
+						checks++
+					}
+				}
+			}
+			return Verdict{Status: Confirmed, Confidence: 1, Trials: checks,
+				Detail: fmt.Sprintf("%d single-chip erasures rebuilt identically by RS(8,1) and XOR parity", checks)}
+		},
+	}
+}
+
+// rsErasureRoundTripClaim exercises the §IX-A XED+Chipkill fast path: the
+// RS(16,2) code behind the 18-chip organisation must recover every pair of
+// erased symbols, for every pair of positions, from corrupted values.
+func rsErasureRoundTripClaim() Claim {
+	return Claim{
+		Name: "rs/erasure-roundtrip",
+		Ref:  "§IX-A",
+		Doc:  "RS(16,2) recovers every (corrupted) one- and two-symbol erasure at every position",
+		Check: func(ctx context.Context, o Options) Verdict {
+			rs := ecc.NewChipkill() // RS(16,2)
+			n := rs.K + rs.R
+			rng := simrand.New(o.Seed + 3)
+			var checks uint64
+			const rounds = 64
+			buf := make([]uint8, n)
+			for round := 0; round < rounds; round++ {
+				data := make([]uint8, rs.K)
+				for i := range data {
+					data[i] = uint8(rng.Uint64())
+				}
+				clean := rs.Encode(data)
+				for i := 0; i < n; i++ {
+					for j := i; j < n; j++ {
+						copy(buf, clean)
+						buf[i] ^= uint8(rng.Uint64() | 1)
+						erasures := []int{i}
+						if j != i {
+							buf[j] ^= uint8(rng.Uint64() | 1)
+							erasures = append(erasures, j)
+						}
+						fixed, err := rs.CorrectErasuresOnly(buf, erasures)
+						checks++
+						if err != nil {
+							return Verdict{Status: Refuted, Confidence: 1,
+								Detail: fmt.Sprintf("erasures %v: %v", erasures, err)}
+						}
+						for k := 0; k < n; k++ {
+							if fixed[k] != clean[k] {
+								return Verdict{Status: Refuted, Confidence: 1,
+									Detail: fmt.Sprintf("erasures %v: symbol %d rebuilt as %#x, want %#x", erasures, k, fixed[k], clean[k])}
+							}
+						}
+					}
+				}
+			}
+			return Verdict{Status: Confirmed, Confidence: 1, Trials: checks,
+				Detail: fmt.Sprintf("%d erasure patterns round-tripped", checks)}
+		},
+	}
+}

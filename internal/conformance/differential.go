@@ -1,0 +1,120 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"xedsim/internal/faultsim"
+	"xedsim/internal/simrand"
+)
+
+// Differential claims: the pre-indexed Monte-Carlo Evaluator is an
+// optimisation of the reference probe, and optimisations rot. This harness
+// regenerates the equivalence evidence over *randomized* configurations —
+// corners a hand-written table would not think to cover — every time the
+// conformance gate runs.
+
+// heavyWeight builds a weight function that books `w` per visible chip
+// fault. Weights of 120 and 130 straddle the Evaluator's int8 fast-path
+// envelope: 120 exercises the packed path near its ceiling, 130 (> 127)
+// must route through the map-based reference fallback. Divergence on
+// either side is exactly the class of bug the fallback gate can hide.
+func heavyWeight(w int) func(cfg *faultsim.Config, r *faultsim.FaultRecord) int {
+	return func(cfg *faultsim.Config, r *faultsim.FaultRecord) int {
+		if faultsim.VisibleWeight(cfg, r) == 0 {
+			return 0
+		}
+		return w
+	}
+}
+
+// differentialSchemes returns the scheme set each random config is judged
+// under: the six paper organisations plus two synthetic heavy-erasure
+// schemes straddling the int8 boundary.
+func differentialSchemes() []faultsim.Scheme {
+	schemes := faultsim.AllSchemes()
+	schemes = append(schemes,
+		faultsim.NewRankErasureScheme("Heavy120", 200, heavyWeight(120)),
+		faultsim.NewRankErasureScheme("Heavy130", 200, heavyWeight(130)),
+	)
+	return schemes
+}
+
+// randomConfig draws one configuration: x4 or x8 chips (18 or 9 per rank),
+// scaling faults on or off, On-Die ECC present or absent, varying silent
+// fractions, both compound-failure criteria, and FIT rates inflated up to
+// 300x so streams are dense enough to collide records in time and space.
+func randomConfig(rng *simrand.Source) faultsim.Config {
+	cfg := faultsim.DefaultConfig()
+	if rng.Intn(2) == 0 {
+		cfg.ChipsPerRank = 18 // x4 organisation
+	}
+	cfg.Channels = 1 + rng.Intn(4)
+	cfg.RanksPerChannel = 1 + rng.Intn(2)
+	if cfg.Channels%2 == 1 && rng.Intn(2) == 0 {
+		cfg.Channels++ // keep some configs Double-Chipkill-pairable
+	}
+	cfg.OnDie = rng.Intn(4) != 0
+	if rng.Intn(2) == 0 {
+		cfg.ScalingRate = 1e-4
+	}
+	cfg.SilentWordFraction = []float64{0, 0.008, 0.5, 1}[rng.Intn(4)]
+	cfg.RequireAddressOverlap = rng.Intn(2) == 0
+	factor := faultsim.FIT(1 + rng.Intn(300))
+	fits := make(faultsim.FITTable, len(cfg.FITs))
+	copy(fits, cfg.FITs)
+	for i := range fits {
+		fits[i].Rate *= factor
+	}
+	cfg.FITs = fits
+	return cfg
+}
+
+// evaluatorDifferentialClaim cross-checks Evaluator.EvaluateInto against
+// the reference FailTimeKind probe over o.Configs random configurations x
+// o.TrialsPerConfig captured trials each, for all eight schemes. The claim
+// is bit-identical agreement — FailTime compared by float bits, kind by
+// value — with zero tolerated divergences.
+func evaluatorDifferentialClaim() Claim {
+	return Claim{
+		Name: "diff/evaluator-vs-reference",
+		Ref:  "§III (FaultSim methodology)",
+		Doc:  "pre-indexed Evaluator bit-identical to reference probe over random configs",
+		Check: func(ctx context.Context, o Options) Verdict {
+			rng := simrand.New(o.Seed + 4)
+			schemes := differentialSchemes()
+			var trials, comparisons uint64
+			for c := 0; c < o.Configs; c++ {
+				if err := ctx.Err(); err != nil {
+					return Verdict{Status: Errored, Err: err, Trials: trials, Detail: "cancelled mid-sweep"}
+				}
+				cfg := randomConfig(rng)
+				trace, err := faultsim.CaptureTrace(cfg, o.TrialsPerConfig, rng.Uint64())
+				if err != nil {
+					return Verdict{Status: Errored, Err: err,
+						Detail: fmt.Sprintf("config %d rejected: %v", c, err)}
+				}
+				ev := faultsim.NewEvaluator(&cfg, schemes)
+				var outs []faultsim.TrialOutcome
+				for t, faults := range trace.Trials {
+					outs = ev.EvaluateInto(faults, outs)
+					trials++
+					for s, scheme := range schemes {
+						wantT, wantK := scheme.(faultsim.KindedScheme).FailTimeKind(&cfg, faults)
+						comparisons++
+						if math.Float64bits(outs[s].FailTime) != math.Float64bits(wantT) || outs[s].Kind != wantK {
+							return Verdict{Status: Refuted, Confidence: 1, Trials: trials,
+								Detail: fmt.Sprintf("config %d trial %d scheme %s: evaluator (%v, %v) != reference (%v, %v) on %d faults (chips/rank=%d onDie=%v scaling=%v overlap=%v)",
+									c, t, scheme.Name(), outs[s].FailTime, outs[s].Kind, wantT, wantK,
+									len(faults), cfg.ChipsPerRank, cfg.OnDie, cfg.ScalingRate, cfg.RequireAddressOverlap)}
+						}
+					}
+				}
+			}
+			return Verdict{Status: Confirmed, Confidence: 1, Trials: trials,
+				Detail: fmt.Sprintf("%d configs x %d trials, %d (scheme, trial) comparisons, zero divergences",
+					o.Configs, o.TrialsPerConfig, comparisons)}
+		},
+	}
+}

@@ -1,0 +1,78 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"xedsim/internal/simrand"
+)
+
+// FuzzEvaluatorVsReference is the fuzzing face of the conformance
+// differential harness: arbitrary (seed, config-shape) inputs generate a
+// fault stream plus adversarial mutations, and the pre-indexed Evaluator
+// must stay bit-identical to the O(n²) reference probe for every scheme.
+// The fuzzer explores config corners (x4/x8, On-Die ECC off, scaling
+// faults, address-overlap criterion, FIT inflation) that a fixed test
+// table samples only pointwise.
+func FuzzEvaluatorVsReference(f *testing.F) {
+	f.Add(uint64(42), uint8(0), uint8(0), false)
+	f.Add(uint64(1), uint8(0xff), uint8(200), true)
+	f.Add(uint64(7), uint8(0b10101), uint8(50), false)
+	f.Fuzz(func(t *testing.T, seed uint64, shape, inflateFactor uint8, mutate bool) {
+		cfg := DefaultConfig()
+		if shape&1 != 0 {
+			cfg.ChipsPerRank = 18 // x4 organisation
+		}
+		if shape&2 != 0 {
+			cfg.OnDie = false
+		}
+		if shape&4 != 0 {
+			cfg.ScalingRate = 1e-4
+		}
+		if shape&8 != 0 {
+			cfg.RequireAddressOverlap = true
+		}
+		if shape&16 != 0 {
+			cfg.SilentWordFraction = 0.5
+		}
+		cfg.Channels = 1 + int(shape>>5&3)
+		if inflateFactor > 0 {
+			fits := make(FITTable, len(cfg.FITs))
+			copy(fits, cfg.FITs)
+			for i := range fits {
+				fits[i].Rate *= FIT(inflateFactor)
+			}
+			cfg.FITs = fits
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Skip()
+		}
+		schemes := AllSchemes()
+		gen := newGenerator(&cfg)
+		ev := NewEvaluator(&cfg, schemes)
+		rng := simrand.New(seed)
+		buf := gen.Trial(rng, nil)
+		if mutate && len(buf) >= 2 {
+			// Start-time ties and same-chip pileups stress the pre-index's
+			// tie-break and per-chip bookkeeping.
+			mut := simrand.New(seed ^ 0x9e3779b97f4a7c15)
+			for m := 0; m < 4; m++ {
+				i, j := mut.Intn(len(buf)), mut.Intn(len(buf))
+				buf[i].Start = buf[j].Start
+				if buf[i].End <= buf[i].Start {
+					buf[i].End = buf[i].Start + 1
+				}
+			}
+			i, j := mut.Intn(len(buf)), mut.Intn(len(buf))
+			buf[i].Channel, buf[i].Rank, buf[i].Chip = buf[j].Channel, buf[j].Rank, buf[j].Chip
+		}
+		outs := ev.EvaluateInto(buf, nil)
+		for s, scheme := range schemes {
+			wantT, wantK := scheme.(KindedScheme).FailTimeKind(&cfg, buf)
+			if math.Float64bits(outs[s].FailTime) != math.Float64bits(wantT) || outs[s].Kind != wantK {
+				t.Fatalf("scheme %s: evaluator (%v, %v) != reference (%v, %v) on %d faults (shape %#x, inflate %d)",
+					scheme.Name(), outs[s].FailTime, outs[s].Kind, wantT, wantK, len(buf), shape, inflateFactor)
+			}
+		}
+	})
+}

@@ -276,3 +276,22 @@ func NewDoubleChipkill() Scheme {
 func NewXEDChipkill() Scheme {
 	return &domainScheme{name: "XED+Chipkill", domainOf: dimmGangDomain, capacity: 2, weight: xedChipkillWeight, kind: xedChipkillKind}
 }
+
+// VisibleWeight is the baseline per-record chip weight shared by the
+// Chipkill-family organisations: 0 for faults absorbed on-die, 1 for
+// anything visible outside the chip. Exported so synthetic schemes (see
+// NewRankErasureScheme) can derive off-menu weight profiles from the same
+// visibility rules the stock schemes use.
+func VisibleWeight(cfg *Config, r *FaultRecord) int { return visibleWeight(cfg, r) }
+
+// NewRankErasureScheme constructs a synthetic rank-domain erasure scheme:
+// the system fails the first instant the summed weights of concurrently
+// faulty distinct chips in any rank exceed capacity, and every failure is
+// a DUE. The paper's organisations are fixed instances of this same
+// engine; the constructor exists for conformance and differential
+// harnesses that need off-menu weight profiles — e.g. weights straddling
+// the Evaluator's int8 fast-path envelope, or a deliberately sabotaged XED
+// whose refutation a statistical acceptance test must demonstrate.
+func NewRankErasureScheme(name string, capacity int, weight func(cfg *Config, r *FaultRecord) int) Scheme {
+	return &domainScheme{name: name, domainOf: rankDomain, capacity: capacity, weight: weight, kind: xedKind}
+}
