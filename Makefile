@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet verify bench bench-save benchstat race fuzz ci experiments clean
+.PHONY: all build test vet verify bench bench-save bench-json benchstat race fuzz ci experiments clean
 
 all: build vet test
 
@@ -37,6 +37,19 @@ bench-save:
 	@if [ -f bench.old ]; then out=bench.new; else out=bench.old; fi; \
 	echo "saving $$out"; \
 	go test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) $(BENCH_PKGS) | tee $$out
+
+# Machine-readable perf trajectory: reruns the Table I campaign benchmark
+# across every engine and snapshots per-engine medians (ns/op, allocs/op,
+# trials/s) into $(BENCH_JSON) via cmd/xedbench. The committed
+# BENCH_pr6.json files let later PRs diff engine throughput without
+# replaying old trees.
+BENCH_JSON ?= BENCH_pr6.json
+
+bench-json:
+	go test -run='^$$' -bench=BenchmarkTableICampaign -benchmem \
+		-benchtime=2s -count=$(BENCH_COUNT) ./internal/faultsim/ \
+		| go run ./cmd/xedbench -out $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
 benchstat:
 	@if [ ! -f bench.old ] || [ ! -f bench.new ]; then \

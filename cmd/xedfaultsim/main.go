@@ -58,6 +58,7 @@ type cliArgs struct {
 	schemeList string
 	ckptPath   string
 	resume     bool
+	engine     string
 }
 
 // validateArgs returns the message usageErr should print, or nil. Range
@@ -94,6 +95,9 @@ func validateArgs(a cliArgs) error {
 	if a.resume && a.ckptPath == "" {
 		return errors.New("-resume needs -checkpoint")
 	}
+	if _, err := faultsim.ParseEngine(a.engine); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -108,6 +112,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "snapshot campaign progress to this file (single experiment only)")
 	ckptEvery := flag.Duration("checkpoint-every", faultsim.DefaultCheckpointInterval, "interval between periodic snapshots")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); results are bit-identical")
 	progress := flag.Bool("progress", false, "repaint a one-line live status (trials/s, per-scheme tallies) on stderr")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON")
 	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof over HTTP on this address (e.g. localhost:6060)")
@@ -123,6 +128,7 @@ func main() {
 		schemeList: *schemeList,
 		ckptPath:   *ckptPath,
 		resume:     *resume,
+		engine:     *engine,
 	}); err != nil {
 		usageErr("%v", err)
 	}
@@ -174,6 +180,7 @@ func main() {
 			CheckpointInterval: *ckptEvery,
 			Resume:             *resume,
 			Metrics:            reg,
+			Engine:             faultsim.Engine(*engine),
 		},
 	}
 	var runErr error

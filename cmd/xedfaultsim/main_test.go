@@ -31,6 +31,7 @@ func TestValidateArgs(t *testing.T) {
 		{"schemes outside custom", func(a *cliArgs) { a.schemeList = "XED" }, "-schemes"},
 		{"checkpoint with all", func(a *cliArgs) { a.experiment = "all"; a.ckptPath = "x.json" }, "-checkpoint"},
 		{"resume without checkpoint", func(a *cliArgs) { a.resume = true }, "-resume"},
+		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

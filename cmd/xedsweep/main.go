@@ -34,6 +34,7 @@ type cliArgs struct {
 	sweep   string
 	systems int
 	workers int
+	engine  string
 }
 
 // validateArgs returns the message usageErr should print, or nil.
@@ -49,6 +50,9 @@ func validateArgs(a cliArgs) error {
 	default:
 		return fmt.Errorf("unknown sweep %q", a.sweep)
 	}
+	if _, err := faultsim.ParseEngine(a.engine); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -57,8 +61,9 @@ func main() {
 	systems := flag.Int("systems", 500_000, "Monte-Carlo trials per point")
 	seed := flag.Uint64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); results are bit-identical")
 	flag.Parse()
-	if err := validateArgs(cliArgs{sweep: *sweep, systems: *systems, workers: *workers}); err != nil {
+	if err := validateArgs(cliArgs{sweep: *sweep, systems: *systems, workers: *workers, engine: *engine}); err != nil {
 		usageErr("%v", err)
 	}
 
@@ -73,6 +78,7 @@ func main() {
 	row := func(label string, cfg faultsim.Config) {
 		rep, err := faultsim.RunCampaign(ctx, cfg, schemes, faultsim.CampaignOptions{
 			Trials: *systems, Seed: *seed, Workers: *workers,
+			Engine: faultsim.Engine(*engine),
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {

@@ -23,6 +23,7 @@ func TestValidateArgs(t *testing.T) {
 		{"negative workers", func(a *cliArgs) { a.workers = -1 }, "-workers"},
 		{"unknown sweep", func(a *cliArgs) { a.sweep = "voltage" }, "unknown sweep"},
 		{"empty sweep", func(a *cliArgs) { a.sweep = "" }, "unknown sweep"},
+		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"xedsim/internal/conformance"
+	"xedsim/internal/faultsim"
 )
 
 func usageErr(format string, args ...any) {
@@ -44,6 +45,7 @@ type cliArgs struct {
 	maxTrials       int
 	configs         int
 	trialsPerConfig int
+	engine          string
 }
 
 // validateArgs returns the message usageErr should print, or nil.
@@ -62,6 +64,9 @@ func validateArgs(a cliArgs) error {
 	}
 	if a.trialsPerConfig <= 0 {
 		return fmt.Errorf("-trials-per-config must be positive, got %d", a.trialsPerConfig)
+	}
+	if _, err := faultsim.ParseEngine(a.engine); err != nil {
+		return err
 	}
 	if a.claims != "" {
 		if _, err := selectedClaims(a.claims); err != nil {
@@ -92,6 +97,7 @@ func main() {
 	maxTrials := flag.Int("max-trials", def.MaxTrials, "trial budget per statistical claim")
 	configs := flag.Int("configs", def.Configs, "random configs for the evaluator differential claim")
 	trialsPerConfig := flag.Int("trials-per-config", def.TrialsPerConfig, "trials per differential config")
+	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); verdicts must not depend on it")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usageErr("unexpected arguments: %v", flag.Args())
@@ -105,6 +111,7 @@ func main() {
 		maxTrials:       *maxTrials,
 		configs:         *configs,
 		trialsPerConfig: *trialsPerConfig,
+		engine:          *engine,
 	}); err != nil {
 		usageErr("%v", err)
 	}
@@ -128,6 +135,7 @@ func main() {
 		MaxTrials:       *maxTrials,
 		Configs:         *configs,
 		TrialsPerConfig: *trialsPerConfig,
+		Engine:          faultsim.Engine(*engine),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -25,6 +25,7 @@ func TestValidateArgs(t *testing.T) {
 		{"zero configs", func(a *cliArgs) { a.configs = 0 }, "-configs"},
 		{"zero trials-per-config", func(a *cliArgs) { a.trialsPerConfig = 0 }, "-trials-per-config"},
 		{"unknown claim", func(a *cliArgs) { a.claims = "fig7/no-such-claim" }, "unknown claim"},
+		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -94,6 +94,11 @@ type Options struct {
 	TrialsPerConfig int
 	// Schemes resolves scheme names; nil selects faultsim.SchemesByName.
 	Schemes SchemeFactory
+	// Engine selects the campaign evaluation engine every claim's
+	// RunCampaign uses ("" = indexed). Verdicts must not depend on it —
+	// running the gate under faultsim.EngineLanes is exactly how the
+	// bit-sliced engine's conformance is demonstrated.
+	Engine faultsim.Engine
 }
 
 // DefaultOptions returns the tuning the CI gate runs with: every claim in
@@ -138,6 +143,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Schemes == nil {
 		o.Schemes = faultsim.SchemesByName
+	}
+	if eng, err := faultsim.ParseEngine(string(o.Engine)); err == nil {
+		o.Engine = eng
 	}
 	return o
 }
@@ -226,6 +234,7 @@ func ratioClaim(name, ref, doc string, cfg func() faultsim.Config, better, worse
 					Trials:  o.Batch,
 					Seed:    batchSeed(o.Seed, name, batch),
 					Workers: o.Workers,
+					Engine:  o.Engine,
 				})
 				if err != nil {
 					return Verdict{Status: Errored, Err: err, Trials: trials, Detail: err.Error()}
@@ -287,6 +296,7 @@ func bandClaim(name, ref, doc string, cfg func() faultsim.Config, a, b string, b
 				Trials:  trials,
 				Seed:    batchSeed(o.Seed, name, 0),
 				Workers: o.Workers,
+				Engine:  o.Engine,
 			})
 			if err != nil {
 				return Verdict{Status: Errored, Err: err, Detail: err.Error()}

@@ -71,11 +71,15 @@ func randomConfig(rng *simrand.Source) faultsim.Config {
 	return cfg
 }
 
-// evaluatorDifferentialClaim cross-checks Evaluator.EvaluateInto against
-// the reference FailTimeKind probe over o.Configs random configurations x
-// o.TrialsPerConfig captured trials each, for all eight schemes. The claim
-// is bit-identical agreement — FailTime compared by float bits, kind by
-// value — with zero tolerated divergences.
+// evaluatorDifferentialClaim cross-checks Evaluator.EvaluateInto AND the
+// bit-sliced LaneEvaluator against the reference FailTimeKind probe over
+// o.Configs random configurations x o.TrialsPerConfig captured trials
+// each, for all eight schemes. Each config's trials are additionally
+// packed into lane batches (the final batch deliberately partial) so the
+// word-parallel mask pass and its scalar-probe fallback face the same
+// randomized corners as the indexed engine. The claim is bit-identical
+// three-way agreement — FailTime compared by float bits, kind by value —
+// with zero tolerated divergences.
 func evaluatorDifferentialClaim() Claim {
 	return Claim{
 		Name: "diff/evaluator-vs-reference",
@@ -96,18 +100,44 @@ func evaluatorDifferentialClaim() Claim {
 						Detail: fmt.Sprintf("config %d rejected: %v", c, err)}
 				}
 				ev := faultsim.NewEvaluator(&cfg, schemes)
-				var outs []faultsim.TrialOutcome
-				for t, faults := range trace.Trials {
-					outs = ev.EvaluateInto(faults, outs)
-					trials++
-					for s, scheme := range schemes {
-						wantT, wantK := scheme.(faultsim.KindedScheme).FailTimeKind(&cfg, faults)
-						comparisons++
-						if math.Float64bits(outs[s].FailTime) != math.Float64bits(wantT) || outs[s].Kind != wantK {
-							return Verdict{Status: Refuted, Confidence: 1, Trials: trials,
-								Detail: fmt.Sprintf("config %d trial %d scheme %s: evaluator (%v, %v) != reference (%v, %v) on %d faults (chips/rank=%d onDie=%v scaling=%v overlap=%v)",
-									c, t, scheme.Name(), outs[s].FailTime, outs[s].Kind, wantT, wantK,
-									len(faults), cfg.ChipsPerRank, cfg.OnDie, cfg.ScalingRate, cfg.RequireAddressOverlap)}
+				lv := faultsim.NewLaneEvaluator(ev)
+				var batch faultsim.LaneBatch
+				var outs, laneOuts []faultsim.TrialOutcome
+				var st simrand.State
+				for base := 0; base < len(trace.Trials); base += faultsim.LaneWidth {
+					batch.Reset()
+					end := base + faultsim.LaneWidth
+					if end > len(trace.Trials) {
+						end = len(trace.Trials)
+					}
+					for i := base; i < end; i++ {
+						batch.Add(i-base, st, trace.Trials[i])
+					}
+					lv.EvaluateBatch(&batch)
+					if v := batch.Voided(); v != 0 {
+						return Verdict{Status: Errored, Trials: trials,
+							Detail: fmt.Sprintf("config %d: lane batch at %d voided lanes %#x with panic-free schemes", c, base, v)}
+					}
+					for i := base; i < end; i++ {
+						faults := trace.Trials[i]
+						outs = ev.EvaluateInto(faults, outs[:0])
+						laneOuts = lv.AppendLaneOutcomes(i-base, laneOuts[:0])
+						trials++
+						for s, scheme := range schemes {
+							wantT, wantK := scheme.(faultsim.KindedScheme).FailTimeKind(&cfg, faults)
+							comparisons++
+							shaped := fmt.Sprintf("on %d faults (chips/rank=%d onDie=%v scaling=%v overlap=%v)",
+								len(faults), cfg.ChipsPerRank, cfg.OnDie, cfg.ScalingRate, cfg.RequireAddressOverlap)
+							if math.Float64bits(outs[s].FailTime) != math.Float64bits(wantT) || outs[s].Kind != wantK {
+								return Verdict{Status: Refuted, Confidence: 1, Trials: trials,
+									Detail: fmt.Sprintf("config %d trial %d scheme %s: evaluator (%v, %v) != reference (%v, %v) %s",
+										c, i, scheme.Name(), outs[s].FailTime, outs[s].Kind, wantT, wantK, shaped)}
+							}
+							if math.Float64bits(laneOuts[s].FailTime) != math.Float64bits(wantT) || laneOuts[s].Kind != wantK {
+								return Verdict{Status: Refuted, Confidence: 1, Trials: trials,
+									Detail: fmt.Sprintf("config %d trial %d scheme %s: lane evaluator (%v, %v) != reference (%v, %v) %s",
+										c, i, scheme.Name(), laneOuts[s].FailTime, laneOuts[s].Kind, wantT, wantK, shaped)}
+							}
 						}
 					}
 				}

@@ -50,6 +50,7 @@ func zeroSDCClaim(name, ref, doc string, cfg func() faultsim.Config, scheme stri
 				Trials:  trials,
 				Seed:    batchSeed(o.Seed, name, 0),
 				Workers: o.Workers,
+				Engine:  o.Engine,
 			})
 			if err != nil {
 				return Verdict{Status: Errored, Err: err, Detail: err.Error()}

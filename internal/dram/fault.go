@@ -28,7 +28,10 @@ const (
 	// GranChip covers the whole chip. Multi-rank faults are modelled as
 	// chip faults replicated at the same position of each affected rank.
 	GranChip
-	numGranularities
+	// NumGranularities counts the distinct granularities; valid values
+	// are 0 <= g < NumGranularities. Exported so scheme engines can size
+	// per-granularity lookup tables.
+	NumGranularities
 )
 
 // String implements fmt.Stringer.

@@ -98,7 +98,7 @@ func assertPanics(t *testing.T, name string, fn func()) {
 }
 
 func TestGranularityStrings(t *testing.T) {
-	for g := GranBit; g < numGranularities; g++ {
+	for g := GranBit; g < NumGranularities; g++ {
 		if s := g.String(); s == "" || s[0] == 'G' {
 			t.Errorf("granularity %d has bad string %q", int(g), s)
 		}

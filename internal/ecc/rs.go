@@ -30,6 +30,10 @@ import (
 type RS struct {
 	K, R int
 	gen  []uint8 // generator polynomial, low-degree first, monic
+	// synTab holds the per-position per-symbol syndrome contribution
+	// rows (batch.go); nil for codes above synTabLimit, which keep the
+	// Horner path.
+	synTab []uint8
 }
 
 // ErrTooManyErasures is returned when more erasures are supplied than the
@@ -46,7 +50,9 @@ func NewRS(k, r int) *RS {
 	for i := 0; i < r; i++ {
 		gen = polyMul(gen, []uint8{gfPow(i), 1})
 	}
-	return &RS{K: k, R: r, gen: gen}
+	rs := &RS{K: k, R: r, gen: gen}
+	rs.buildSynTab()
+	return rs
 }
 
 // Name identifies the code configuration.
@@ -118,10 +124,12 @@ func (rs *RS) Syndromes(cw []uint8) []uint8 {
 }
 
 // SyndromesInto is Syndromes writing into syn's backing array when it has
-// capacity R (allocating otherwise). Each syndrome is a Horner evaluation
-// walking the codeword in degree order — data symbols occupy degrees
-// R..N-1 (data symbol i at degree R+i), check symbol j degree j — so no
-// codeword-polynomial copy is materialised.
+// capacity R (allocating otherwise). The common path is one pass over the
+// codeword through the precomputed contribution rows (batch.go); codes
+// too large for the tables fall back to R Horner evaluations walking the
+// codeword in degree order — data symbols occupy degrees R..N-1 (data
+// symbol i at degree R+i), check symbol j degree j — so no
+// codeword-polynomial copy is materialised either way.
 func (rs *RS) SyndromesInto(cw, syn []uint8) []uint8 {
 	if len(cw) != rs.K+rs.R {
 		panic("ecc: RS Syndromes codeword length mismatch")
@@ -130,9 +138,14 @@ func (rs *RS) SyndromesInto(cw, syn []uint8) []uint8 {
 		syn = make([]uint8, rs.R)
 	} else {
 		syn = syn[:rs.R]
+		for j := range syn {
+			syn[j] = 0
+		}
 	}
-	for j := 0; j < rs.R; j++ {
-		syn[j] = rs.syndrome(cw, gfPow(j))
+	if rs.synTab != nil {
+		rs.synTabbed(cw, syn)
+	} else {
+		rs.synHorner(cw, syn)
 	}
 	return syn
 }
@@ -151,12 +164,25 @@ func (rs *RS) syndrome(cw []uint8, x uint8) uint8 {
 }
 
 // IsValid reports whether cw is a valid codeword. It does not allocate.
+// With the contribution tables present it checks one syndrome at a time
+// (early exit on the first nonzero); large codes fall back to Horner.
 func (rs *RS) IsValid(cw []uint8) bool {
 	if len(cw) != rs.K+rs.R {
 		panic("ecc: RS Syndromes codeword length mismatch")
 	}
 	for j := 0; j < rs.R; j++ {
-		if rs.syndrome(cw, gfPow(j)) != 0 {
+		var y uint8
+		if rs.synTab != nil {
+			base := j << 8
+			for pos, c := range cw {
+				if c != 0 {
+					y = y ^ rs.synTab[(pos*rs.R)<<8+base+int(c)]
+				}
+			}
+		} else {
+			y = rs.syndrome(cw, gfPow(j))
+		}
+		if y != 0 {
 			return false
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -66,6 +67,40 @@ const (
 // panicked than ErrorBudget tolerates.
 var ErrErrorBudgetExceeded = errors.New("faultsim: trial-error budget exceeded")
 
+// Engine selects the trial-judging implementation a campaign runs on.
+// Every engine produces bit-identical Reports for the same (cfg, Trials,
+// Seed, ChunkSize): engines differ only in how trials are judged, never in
+// how they are generated (the RNG draw sequence is engine-invariant), so
+// the choice is excluded from the checkpoint config hash and a campaign
+// may even be checkpointed under one engine and resumed under another.
+type Engine string
+
+const (
+	// EngineIndexed is the pre-indexed scalar Evaluator (the default).
+	EngineIndexed Engine = "indexed"
+	// EngineLanes is the bit-sliced LaneEvaluator: 64 trials judged per
+	// machine word, with scalar probes only for lanes the lane masks
+	// cannot prove alive. See lanes.go.
+	EngineLanes Engine = "lanes"
+	// EngineReference judges every trial with the O(n²) reference probe —
+	// slow, kept for differential gating and debugging.
+	EngineReference Engine = "reference"
+)
+
+// ParseEngine maps a CLI/flag string to an Engine. The empty string
+// selects EngineIndexed.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineIndexed:
+		return EngineIndexed, nil
+	case EngineLanes:
+		return EngineLanes, nil
+	case EngineReference:
+		return EngineReference, nil
+	}
+	return "", fmt.Errorf("faultsim: unknown engine %q (want indexed, lanes or reference)", s)
+}
+
 // CampaignOptions parameterises RunCampaign.
 type CampaignOptions struct {
 	// Trials is the number of systems to simulate. Required.
@@ -95,6 +130,9 @@ type CampaignOptions struct {
 	// (and once at startup when resuming): completed and total chunk
 	// counts. It is called from worker goroutines, serialised.
 	OnChunk func(doneChunks, totalChunks int)
+	// Engine selects the trial-judging implementation; the zero value is
+	// EngineIndexed. Reports are bit-identical across engines.
+	Engine Engine
 	// Metrics, when non-nil, publishes live campaign counters under
 	// "campaign.*" names: trial/chunk progress, per-scheme failure
 	// tallies, trial errors and checkpoint save latency. Tallies advance
@@ -297,6 +335,10 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var err error
+	if opts.Engine, err = ParseEngine(string(opts.Engine)); err != nil {
+		return nil, err
+	}
 
 	e := &engine{
 		cfg:     cfg,
@@ -388,10 +430,14 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 
 // worker pulls chunk indices until the queue drains or ctx cancels.
 func (e *engine) worker(ctx context.Context) {
-	w := newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years)
+	w := newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years, e.opts.Engine)
 	// Per-trial evaluation counter: a single nil-safe atomic add on the
 	// non-empty-trial path (nil registry → nil counter → no-op).
 	w.ev.SetTrialCounter(e.opts.Metrics.Counter("campaign.trials_evaluated"))
+	if w.lv != nil {
+		w.lv.SetCounters(e.opts.Metrics.Counter("campaign.lane_batches"),
+			e.opts.Metrics.Counter("campaign.lane_probes"))
+	}
 	for {
 		if ctx.Err() != nil {
 			return
@@ -582,15 +628,18 @@ func (e *engine) reportLocked() *Report {
 // campaignWorker holds one goroutine's reusable trial state plus the
 // current chunk's tallies. Nothing here allocates per trial.
 type campaignWorker struct {
-	cfg   *Config
-	seed  uint64
-	years int
-	ev    *Evaluator
-	gen   *generator
-	rng   *simrand.Source
-	fast  bool
-	buf   []FaultRecord
-	outs  []TrialOutcome
+	cfg    *Config
+	seed   uint64
+	years  int
+	engine Engine
+	ev     *Evaluator
+	lv     *LaneEvaluator // non-nil iff engine == EngineLanes
+	batch  LaneBatch
+	gen    *generator
+	rng    *simrand.Source
+	fast   bool
+	buf    []FaultRecord
+	outs   []TrialOutcome
 
 	chunk    int
 	failures [][]uint64 // [scheme][year] cumulative, this chunk
@@ -607,14 +656,21 @@ type campaignWorker struct {
 	inEval bool
 }
 
-func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int) *campaignWorker {
+func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int, engine Engine) *campaignWorker {
 	w := &campaignWorker{
-		cfg:   cfg,
-		seed:  seed,
-		years: years,
-		rng:   simrand.New(0),
+		cfg:    cfg,
+		seed:   seed,
+		years:  years,
+		engine: engine,
+		rng:    simrand.New(0),
 	}
+	// Every engine judges through (or falls back to) the same Evaluator,
+	// and generation is always filtered by its classLive so the trial
+	// streams are engine-invariant.
 	w.ev = NewEvaluator(cfg, schemes)
+	if engine == EngineLanes {
+		w.lv = NewLaneEvaluator(w.ev)
+	}
 	w.gen = newRunGenerator(cfg, w.ev)
 	w.fast = w.ev.EmptyTrialsSurvive()
 	w.failures = make([][]uint64, len(schemes))
@@ -641,6 +697,9 @@ func (w *campaignWorker) runChunk(ctx context.Context, c, lo, hi int) bool {
 	w.rng.SeedStream(w.seed, uint64(c))
 	w.gen.resetEvents()
 
+	if w.engine == EngineLanes {
+		return w.runLaneChunk(ctx, lo, hi)
+	}
 	for t := lo; ; {
 		switch w.runSpan(ctx, t, lo, hi) {
 		case spanDone:
@@ -661,6 +720,112 @@ const (
 	spanCancelled
 	spanPanicked
 )
+
+// cancelCheckMask paces the intra-chunk ctx poll. Cancellation is normally
+// drained at chunk boundaries; the intra-chunk check only matters for
+// outsized custom ChunkSizes.
+const cancelCheckMask = 1<<16 - 1
+
+// runLaneChunk is runChunk's trial loop for the lane engine: trials are
+// generated with the same draws and in the same order as the scalar spans,
+// but their records are packed straight into the worker's LaneBatch (no
+// per-trial copy) and judged 64 at a time at batch flushes. A lane batch
+// is a sub-unit of a chunk — the final partial batch flushes at the chunk
+// boundary — so chunk tallies, and therefore Reports, are bit-identical to
+// the indexed engine's. Panics inside scheme code are contained per lane
+// by the LaneEvaluator; a panic escaping to this frame is a generation
+// failure and propagates (recovery there could not keep the RNG stream
+// deterministic).
+func (w *campaignWorker) runLaneChunk(ctx context.Context, lo, hi int) bool {
+	rng, gen, b := w.rng, w.gen, &w.batch
+	b.Reset()
+	if w.fast {
+		for t := lo; t < hi; {
+			if (t-lo)&cancelCheckMask == 0 && ctx.Err() != nil {
+				return false
+			}
+			st := rng.State()
+			mark := len(b.recs)
+			skipped, recs := gen.nextNonEmptyAppend(rng, b.recs)
+			b.recs = recs
+			if skipped >= hi-t {
+				// The rest of the chunk drew empty trials; the non-empty
+				// trial just generated belongs past the chunk boundary.
+				b.recs = b.recs[:mark]
+				break
+			}
+			t += skipped
+			if len(b.recs) > mark { // aging thinning can still empty a trial
+				b.commit(t, st)
+				if b.Lanes() == LaneWidth {
+					w.flushBatch()
+				}
+			}
+			t++
+		}
+	} else {
+		for t := lo; t < hi; t++ {
+			if (t-lo)&cancelCheckMask == 0 && ctx.Err() != nil {
+				return false
+			}
+			st := rng.State()
+			b.recs = gen.trialAppend(rng, b.recs)
+			b.commit(t, st)
+			if b.Lanes() == LaneWidth {
+				w.flushBatch()
+			}
+		}
+	}
+	w.flushBatch()
+	return true
+}
+
+// flushBatch judges the pending lane batch and folds its failure masks
+// into the chunk accumulators — the lane engine's analogue of tally(),
+// popping mask bits instead of scanning per-trial outcomes. Voided
+// (panicked) lanes are excluded from every scheme's tallies and recorded
+// as TrialErrors, exactly like a voided scalar trial.
+func (w *campaignWorker) flushBatch() {
+	b := &w.batch
+	if b.Lanes() == 0 {
+		return
+	}
+	lv := w.lv
+	lv.EvaluateBatch(b)
+	valid := b.activeMask() &^ b.voided
+	for s := range w.total {
+		for m := lv.fail[s] & valid; m != 0; m &= m - 1 {
+			L := bits.TrailingZeros64(m)
+			out := &lv.outs[s*LaneWidth+L]
+			w.total[s]++
+			switch out.Kind {
+			case FailDUE:
+				w.dues[s]++
+			case FailSDC:
+				w.sdcs[s]++
+			}
+			yr := int(out.FailTime / HoursPerYear)
+			if yr >= w.years {
+				yr = w.years - 1
+			}
+			for y := yr; y < w.years; y++ {
+				w.failures[s][y]++
+			}
+		}
+	}
+	for m := b.voided; m != 0; m &= m - 1 {
+		L := bits.TrailingZeros64(m)
+		w.errs = append(w.errs, TrialError{
+			Trial:      b.trial[L],
+			Chunk:      w.chunk,
+			RNGState:   b.state[L],
+			Faults:     append([]FaultRecord(nil), b.LaneFaults(L)...),
+			PanicValue: b.panicVal[L],
+			Stack:      b.stack[L],
+		})
+	}
+	b.Reset()
+}
 
 // runSpan evaluates trials [t0, hi) of the current chunk, stopping early on
 // cancellation or on the first panicking trial. Panic recovery is hoisted to
@@ -691,15 +856,14 @@ func (w *campaignWorker) runSpan(ctx context.Context, t0, lo, hi int) (status in
 		status = spanPanicked
 	}()
 
-	// Cancellation is normally drained at chunk boundaries; the intra-chunk
-	// check only matters for outsized custom ChunkSizes.
-	const cancelCheckMask = 1<<16 - 1
-
 	// Hot-loop state lives in locals; the struct fields are written only at
 	// the pre-evaluation stash point (for the recover above) and on exit.
 	rng, gen, ev := w.rng, w.gen, w.ev
 	buf, outs := w.buf, w.outs
 	defer func() { w.buf, w.outs = buf, outs }()
+	// The reference engine re-judges every trial with the O(n²) probe; a
+	// single predicted branch per trial keeps the indexed hot path shared.
+	ref := w.engine == EngineReference
 
 	if w.fast {
 		// Fast path (see Run): empty trials survive every scheme, so the
@@ -717,7 +881,11 @@ func (w *campaignWorker) runSpan(ctx context.Context, t0, lo, hi int) (status in
 			t += skipped
 			if len(buf) > 0 { // aging thinning can still empty a trial
 				w.t, w.st, w.buf, w.inEval = t, st, buf, true
-				outs = ev.EvaluateInto(buf, outs)
+				if ref {
+					outs = ev.referenceInto(buf, outs)
+				} else {
+					outs = ev.EvaluateInto(buf, outs)
+				}
 				w.inEval = false
 				w.outs = outs
 				w.tally()
@@ -733,7 +901,11 @@ func (w *campaignWorker) runSpan(ctx context.Context, t0, lo, hi int) (status in
 		st := rng.State()
 		buf = gen.Trial(rng, buf)
 		w.t, w.st, w.buf, w.inEval = t, st, buf, true
-		outs = ev.EvaluateInto(buf, outs)
+		if ref {
+			outs = ev.referenceInto(buf, outs)
+		} else {
+			outs = ev.EvaluateInto(buf, outs)
+		}
 		w.inEval = false
 		w.outs = outs
 		w.tally()

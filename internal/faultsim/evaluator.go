@@ -38,6 +38,20 @@ func entryLess(a, b *faultEntry) bool {
 	return a.idx < b.idx
 }
 
+// prepRec is one fault record's scheme-INVARIANT digest: the quantities
+// every scheme's pass 1 used to recompute per scheme (global chip id,
+// silent flag, interval copy) are now computed once per trial and shared.
+// chip is -1 when the record lies outside the configured fleet (hand-built
+// or foreign streams); a scheme that weights such a record falls back to
+// the reference probe, exactly as before.
+type prepRec struct {
+	start, end float64
+	rec        *FaultRecord
+	idx        int32
+	chip       int32
+	silent     bool
+}
+
 // Evaluator judges fault streams against a fixed set of schemes with all
 // scratch state reused across trials. It replaces the per-record
 // map[chipKey]int + O(n²) rescan of domainScheme.FailTimeKind with a
@@ -55,6 +69,7 @@ type Evaluator struct {
 	// On-Die ECC, birthtime scaling faults defeat every scheme at t=0.
 	scalingFatal bool
 
+	prep    []prepRec    // per-trial scheme-invariant digest, reused
 	entries []faultEntry // per-trial per-scheme index, reused
 
 	// Per-chip probe scratch, indexed by global chip id and validated by
@@ -172,15 +187,56 @@ func (e *Evaluator) classLive(cls ClassRate) bool {
 func (e *Evaluator) EvaluateInto(faults []FaultRecord, out []TrialOutcome) []TrialOutcome {
 	e.trials.Inc()
 	out = out[:0]
+	prepared := false
 	for i := range e.evals {
 		ev := &e.evals[i]
 		if ev.ds == nil {
 			out = append(out, e.genericOutcome(ev.scheme, faults))
 			continue
 		}
-		out = append(out, e.evalDomain(ev.ds, faults))
+		if !prepared {
+			// Scheme-invariant digestion happens once per trial; each
+			// scheme's evalDomain pass then only adds its own weight and
+			// domain on top (and scalingFatal needs no digest at all).
+			if !e.scalingFatal {
+				e.prepare(faults)
+			}
+			prepared = true
+		}
+		out = append(out, e.evalDomainPrepared(ev.ds, faults))
 	}
 	return out
+}
+
+// referenceInto judges the trial with every scheme's reference probe
+// (O(n²) FailTimeKind) instead of the pre-index — the EngineReference
+// campaign path, kept for differential gating and debugging.
+func (e *Evaluator) referenceInto(faults []FaultRecord, out []TrialOutcome) []TrialOutcome {
+	e.trials.Inc()
+	out = out[:0]
+	for i := range e.evals {
+		out = append(out, e.genericOutcome(e.evals[i].scheme, faults))
+	}
+	return out
+}
+
+// prepare digests the trial's records into e.prep (see prepRec).
+func (e *Evaluator) prepare(faults []FaultRecord) {
+	prep := e.prep[:0]
+	nchips := int32(len(e.chipEpoch))
+	rpc, cpr := e.cfg.RanksPerChannel, e.cfg.ChipsPerRank
+	for i := range faults {
+		r := &faults[i]
+		chip := int32((r.Channel*rpc+r.Rank)*cpr + r.Chip)
+		if chip < 0 || chip >= nchips {
+			chip = -1
+		}
+		prep = append(prep, prepRec{
+			start: r.Start, end: r.End, rec: r,
+			idx: int32(i), chip: chip, silent: isSilentRecord(r),
+		})
+	}
+	e.prep = prep
 }
 
 func (e *Evaluator) genericOutcome(s Scheme, faults []FaultRecord) TrialOutcome {
@@ -191,12 +247,24 @@ func (e *Evaluator) genericOutcome(s Scheme, faults []FaultRecord) TrialOutcome 
 	return TrialOutcome{FailTime: s.FailTime(e.cfg, faults), Kind: FailNone}
 }
 
-// evalDomain evaluates one domainScheme over the trial. Semantics match
-// domainScheme.FailTimeKind exactly: the winning event — an overweight
-// record or a failing anchor probe — is the one with lexicographically
-// minimal (time, original record index), reproducing the reference's
-// record-order iteration with its strict `t < fail` replacement rule.
+// evalDomain evaluates one domainScheme over the trial, digesting the
+// records first — the entry point for one-off probes (the lane engine's
+// scalar fallback). EvaluateInto prepares once and calls
+// evalDomainPrepared per scheme instead.
 func (e *Evaluator) evalDomain(s *domainScheme, faults []FaultRecord) TrialOutcome {
+	if !e.scalingFatal {
+		e.prepare(faults)
+	}
+	return e.evalDomainPrepared(s, faults)
+}
+
+// evalDomainPrepared evaluates one domainScheme over the prepared trial
+// (e.prep must describe faults). Semantics match domainScheme.FailTimeKind
+// exactly: the winning event — an overweight record or a failing anchor
+// probe — is the one with lexicographically minimal (time, original record
+// index), reproducing the reference's record-order iteration with its
+// strict `t < fail` replacement rule.
+func (e *Evaluator) evalDomainPrepared(s *domainScheme, faults []FaultRecord) TrialOutcome {
 	if e.scalingFatal {
 		return TrialOutcome{FailTime: 0, Kind: FailSDC}
 	}
@@ -205,21 +273,18 @@ func (e *Evaluator) evalDomain(s *domainScheme, faults []FaultRecord) TrialOutco
 	bestIdx := int32(math.MaxInt32)
 	bestKind := FailNone
 
-	// Pass 1: digest each record once per scheme. Overweight records
-	// (weight > capacity) fail the scheme on their own at onset; they are
-	// folded into the running best here and still join the index because
-	// they contribute weight to other anchors' probes.
+	// Pass 1: weigh each prepared record for this scheme. Overweight
+	// records (weight > capacity) fail the scheme on their own at onset;
+	// they are folded into the running best here and still join the index
+	// because they contribute weight to other anchors' probes.
 	entries := e.entries[:0]
-	nchips := int32(len(e.chipEpoch))
-	rpc, cpr := cfg.RanksPerChannel, cfg.ChipsPerRank
-	for i := range faults {
-		r := &faults[i]
-		w := s.weight(cfg, r)
+	for i := range e.prep {
+		p := &e.prep[i]
+		w := s.weight(cfg, p.rec)
 		if w == 0 {
 			continue
 		}
-		chip := int32((r.Channel*rpc+r.Rank)*cpr + r.Chip)
-		if chip < 0 || chip >= nchips || w > math.MaxInt8 {
+		if p.chip < 0 || w > math.MaxInt8 {
 			// Outside the pre-index's envelope: a record beyond the
 			// configured fleet (hand-built or foreign trace) cannot index
 			// the fixed-size chip arrays, and a weight above 127 would
@@ -231,24 +296,24 @@ func (e *Evaluator) evalDomain(s *domainScheme, faults []FaultRecord) TrialOutco
 			return TrialOutcome{FailTime: t, Kind: k}
 		}
 		if w > s.capacity {
-			if r.Start < bestTime || (r.Start == bestTime && int32(i) < bestIdx) {
+			if p.start < bestTime || (p.start == bestTime && p.idx < bestIdx) {
 				silent := 0
-				if isSilentRecord(r) {
+				if p.silent {
 					silent = 1
 				}
-				bestTime, bestIdx = r.Start, int32(i)
-				bestKind = s.kind(silent, 1, eventHash(r))
+				bestTime, bestIdx = p.start, p.idx
+				bestKind = s.kind(silent, 1, eventHash(p.rec))
 			}
 		}
 		entries = append(entries, faultEntry{})
 		en := &entries[len(entries)-1]
-		en.start, en.end = r.Start, r.End
-		en.rec = r
-		en.idx = int32(i)
-		en.chip = chip
-		en.domain = int32(s.domainOf(cfg, r))
+		en.start, en.end = p.start, p.end
+		en.rec = p.rec
+		en.idx = p.idx
+		en.chip = p.chip
+		en.domain = int32(s.domainOf(cfg, p.rec))
 		en.weight = int8(w)
-		en.silent = isSilentRecord(r)
+		en.silent = p.silent
 		en.overweight = w > s.capacity
 	}
 	e.entries = entries

@@ -76,3 +76,103 @@ func FuzzEvaluatorVsReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLaneVsIndexedEvaluator is the bit-sliced engine's differential
+// fuzzer: it generates nTrials fault streams under a fuzzer-chosen config
+// shape, packs them into LaneBatch words (including deliberately partial
+// final batches), and demands that the LaneEvaluator's unpacked outcomes
+// match the indexed Evaluator bit for bit on every (trial, scheme) pair.
+// The scheme set covers the stock organisations plus the corners the mask
+// pass special-cases: weights straddling the scalar probe's int8 envelope
+// and an off-menu domain mapping the lane engine must route through its
+// conservative whole-trial path.
+func FuzzLaneVsIndexedEvaluator(f *testing.F) {
+	f.Add(uint64(42), uint8(0), uint8(0), uint8(1))
+	f.Add(uint64(99), uint8(0xff), uint8(200), uint8(65))
+	f.Add(uint64(7), uint8(0b10101), uint8(120), uint8(64))
+	f.Add(uint64(3), uint8(0b00110), uint8(150), uint8(63))
+	f.Add(uint64(1234), uint8(0b01000), uint8(80), uint8(130))
+	f.Fuzz(func(t *testing.T, seed uint64, shape, inflateFactor, nTrials uint8) {
+		if nTrials == 0 {
+			t.Skip()
+		}
+		cfg := DefaultConfig()
+		if shape&1 != 0 {
+			cfg.ChipsPerRank = 18
+		}
+		if shape&2 != 0 {
+			cfg.OnDie = false
+		}
+		if shape&4 != 0 {
+			cfg.ScalingRate = 1e-4
+		}
+		if shape&8 != 0 {
+			cfg.RequireAddressOverlap = true
+		}
+		if shape&16 != 0 {
+			cfg.SilentWordFraction = 0.5
+		}
+		cfg.Channels = 1 + int(shape>>5&3)
+		if inflateFactor > 0 {
+			fits := make(FITTable, len(cfg.FITs))
+			copy(fits, cfg.FITs)
+			for i := range fits {
+				fits[i].Rate *= FIT(inflateFactor)
+			}
+			cfg.FITs = fits
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Skip()
+		}
+		heavy := func(w int) weightFunc {
+			return func(cfg *Config, r *FaultRecord) int {
+				if visibleWeight(cfg, r) == 0 {
+					return 0
+				}
+				return w
+			}
+		}
+		schemes := append(AllSchemes(),
+			NewRankErasureScheme("Heavy120", 200, heavy(120)),
+			NewRankErasureScheme("Heavy130", 200, heavy(130)),
+			chipParityScheme(1),
+		)
+		gen := newGenerator(&cfg)
+		ev := NewEvaluator(&cfg, schemes)
+		lv := NewLaneEvaluator(ev)
+		rng := simrand.New(seed)
+
+		trials := make([][]FaultRecord, nTrials)
+		for i := range trials {
+			trials[i] = gen.Trial(rng, nil)
+		}
+		var want, got []TrialOutcome
+		var b LaneBatch
+		var st simrand.State
+		for base := 0; base < len(trials); base += LaneWidth {
+			b.Reset()
+			end := base + LaneWidth
+			if end > len(trials) {
+				end = len(trials)
+			}
+			for i := base; i < end; i++ {
+				b.Add(i-base, st, trials[i])
+			}
+			lv.EvaluateBatch(&b)
+			if v := b.Voided(); v != 0 {
+				t.Fatalf("batch at %d voided lanes %#x with panic-free schemes", base, v)
+			}
+			for i := base; i < end; i++ {
+				want = ev.EvaluateInto(trials[i], want[:0])
+				got = lv.AppendLaneOutcomes(i-base, got[:0])
+				for s := range schemes {
+					if math.Float64bits(got[s].FailTime) != math.Float64bits(want[s].FailTime) || got[s].Kind != want[s].Kind {
+						t.Fatalf("trial %d scheme %s: lanes (%v, %v) != indexed (%v, %v) on %d faults (shape %#x, inflate %d)",
+							i, schemes[s].Name(), got[s].FailTime, got[s].Kind,
+							want[s].FailTime, want[s].Kind, len(trials[i]), shape, inflateFactor)
+					}
+				}
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"math"
+	"reflect"
 
 	"xedsim/internal/dram"
 )
@@ -108,6 +109,22 @@ func xedChipkillKind(silent, total int, h float64) FailKind {
 		return FailSDC
 	}
 	return FailDUE
+}
+
+// hashFreeKind reports whether k is one of the stock constant kind
+// functions — those that ignore every argument, hash included — and the
+// constant it returns. Identity is decided by code pointer, never by
+// probing: a thresholded kind could answer identically at any finite set
+// of probe hashes and still not be constant. Unknown kind functions
+// simply keep the exact slow path.
+func hashFreeKind(k kindFunc) (FailKind, bool) {
+	switch reflect.ValueOf(k).Pointer() {
+	case reflect.ValueOf(nonECCKind).Pointer():
+		return FailSDC, true
+	case reflect.ValueOf(xedKind).Pointer():
+		return FailDUE, true
+	}
+	return FailNone, false
 }
 
 // eventHash derives a deterministic uniform [0,1) from a fault record so

@@ -1,0 +1,742 @@
+package faultsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime/debug"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/obs"
+	"xedsim/internal/simrand"
+)
+
+// Bit-sliced trial evaluation: judge up to 64 Monte-Carlo trials per
+// machine word.
+//
+// The observation behind the lane engine is that almost every non-empty
+// trial is trivial to judge: it carries one or two visible fault records,
+// and a single record whose weight fits the scheme's capacity can never
+// fail a domain scheme on its own. The expensive part of the indexed
+// Evaluator — per-scheme digestion, domain bucketing, concurrency probes —
+// exists for the rare trial where two weighted records share a protection
+// domain. The lane engine separates the populations with mask algebra:
+//
+//   - 64 trials are packed into the lanes of a LaneBatch, lane L ↔ bit L.
+//     Sealing a lane (commit) digests each record into a compact laneRec
+//     — weight-table signature, start time, channel/rank, silent flag
+//     and the pre-mixed event-hash key, all config-free — so the judging
+//     passes stream one dense array and touch the full FaultRecords only
+//     in the rare scalar probe.
+//   - Weights are pre-tabulated per signature and folded against each
+//     scheme's capacity into a code (0 skip, 1 weighted, 2 overweight),
+//     eight schemes interleaved per uint64 table word: ONE load yields
+//     every scheme's code, and a zero word dismisses the record for all
+//     of them in a single branch.
+//   - A single-record lane never pairs, so its verdict per scheme is
+//     alive unless the record is overweight — in which case it fails
+//     deterministically at the record's start. The mask pass collapses
+//     the overweight byte-mask into a per-lane slot mask with a
+//     multiply-movemask and moves on without touching the record; the
+//     probe pass transposes those per-lane masks back into per-scheme
+//     lane masks. This is the NonECC/SECDED hot case: capacity 0 makes
+//     every visible record overweight.
+//   - Multi-record lanes additionally maintain, per scheme, a `seen`
+//     lane mask per protection domain: two weighted records meeting in
+//     one domain raise the lane in `pair` (word-wide AND/OR), and the
+//     earliest-starting overweight record is tracked per lane.
+//   - Only pair lanes — plus lanes holding records outside the digest
+//     envelope — are handed to the exact scalar probe (the indexed
+//     Evaluator's evalDomainPrepared — bit-identity by construction,
+//     including its int8/chip-range reference fallback), prepared once
+//     per lane for all schemes that need it. Overweight non-pair lanes
+//     resolve inline from the tracked record; every other lane provably
+//     survives: +Inf, FailNone.
+//   - Tallying pops failure masks with bits.OnesCount64 and touches
+//     per-year buckets only for set bits.
+//
+// The weight tables rely on the purity contract documented on
+// buildWeightCodes. Schemes whose domain mapping is not one of the stock
+// tags conservatively treat the whole trial as one domain (any two
+// weighted records force the scalar probe), which is still exact: a
+// single within-capacity record cannot fail any domainScheme regardless
+// of how domains partition the fleet. Non-domainScheme (opaque) schemes
+// are judged per lane via the same generic path the indexed engine uses.
+
+// LaneWidth is the number of trials packed into one lane word.
+const LaneWidth = 64
+
+// laneRec is a record's commit-time digest: every field the mask and
+// direct passes need, in 32 sequential bytes, all independent of the
+// evaluator's Config. key folds the non-time terms of eventHash so a
+// failing lane's hash is a finisher away (see laneEventHash).
+type laneRec struct {
+	start  float64
+	key    uint64
+	sig    int32
+	ch, rk int32
+	silent bool
+}
+
+// digestRecord builds a laneRec. It runs at packing time — in the
+// campaign right after the generator writes the record, while its fields
+// are cache-hot.
+func digestRecord(r *FaultRecord) laneRec {
+	return laneRec{
+		start:  r.Start,
+		key:    uint64(r.Channel)<<40 ^ uint64(r.Rank)<<32 ^ uint64(r.Chip)<<24 ^ uint64(r.Gran)<<16,
+		sig:    sigOf(r),
+		ch:     int32(r.Channel),
+		rk:     int32(r.Rank),
+		silent: isSilentRecord(r),
+	}
+}
+
+// laneEventHash completes eventHash from a laneRec digest: the key holds
+// every non-time term of the pre-mix, bit-identically to eventHash's own
+// expression (TestLaneEventHashMatches pins this).
+func laneEventHash(lr *laneRec) float64 {
+	x := lr.key ^ math.Float64bits(lr.start)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / (1 << 53)
+}
+
+// LaneBatch packs up to LaneWidth trials' fault records, back to back, for
+// one LaneEvaluator.EvaluateBatch call. Lane L's records live at
+// recs[offs[L]:offs[L+1]] with their digests at the same indices of lrs;
+// trial[L] and state[L] carry the campaign bookkeeping (global trial
+// index, pre-generation RNG state) that a voided (panicking) lane needs
+// to become a TrialError.
+type LaneBatch struct {
+	lanes int
+	offs  [LaneWidth + 1]int32
+	recs  []FaultRecord
+	lrs   []laneRec
+	trial [LaneWidth]int
+	state [LaneWidth]simrand.State
+
+	// Panic bookkeeping, populated by EvaluateBatch: voided bit L set
+	// means lane L's evaluation panicked and its outcomes are void.
+	voided   uint64
+	panicVal [LaneWidth]string
+	stack    [LaneWidth]string
+}
+
+// Reset empties the batch for reuse, keeping the buffers' capacity.
+func (b *LaneBatch) Reset() {
+	b.lanes = 0
+	b.offs[0] = 0
+	b.recs = b.recs[:0]
+	b.lrs = b.lrs[:0]
+	b.voided = 0
+}
+
+// Lanes returns the number of packed trials.
+func (b *LaneBatch) Lanes() int { return b.lanes }
+
+// Add packs one trial into the next free lane, copying its fault records.
+// It panics when the batch is full; check Lanes() < LaneWidth first.
+func (b *LaneBatch) Add(trial int, state simrand.State, faults []FaultRecord) {
+	if b.lanes >= LaneWidth {
+		panic("faultsim: LaneBatch overflow")
+	}
+	b.recs = append(b.recs, faults...)
+	b.commit(trial, state)
+}
+
+// commit seals the records appended since the previous lane into a new
+// lane, digesting each into its laneRec. The campaign engine generates
+// directly into b.recs and commits; external callers go through Add.
+func (b *LaneBatch) commit(trial int, state simrand.State) {
+	for ri := int(b.offs[b.lanes]); ri < len(b.recs); ri++ {
+		b.lrs = append(b.lrs, digestRecord(&b.recs[ri]))
+	}
+	b.trial[b.lanes] = trial
+	b.state[b.lanes] = state
+	b.lanes++
+	b.offs[b.lanes] = int32(len(b.recs))
+}
+
+// LaneFaults returns lane L's packed records (aliasing the batch buffer).
+func (b *LaneBatch) LaneFaults(L int) []FaultRecord {
+	return b.recs[b.offs[L]:b.offs[L+1]]
+}
+
+// Voided returns the lane mask of trials whose evaluation panicked in the
+// last EvaluateBatch; their outcomes are meaningless.
+func (b *LaneBatch) Voided() uint64 { return b.voided }
+
+// activeMask covers the packed lanes.
+func (b *LaneBatch) activeMask() uint64 {
+	if b.lanes == LaneWidth {
+		return ^uint64(0)
+	}
+	return 1<<uint(b.lanes) - 1
+}
+
+// laneSig indexes the weight tables: 3 boolean record flags per
+// granularity. laneNSig entries per chip position.
+const laneNSig = int(dram.NumGranularities) * 8
+
+func laneSig(r *FaultRecord) int {
+	return int(r.Gran)*8 | b2i(r.Transient) | b2i(r.Silent)<<1 | b2i(r.EscalatedByScaling)<<2
+}
+
+// b2i compiles to a flag-free byte load: a bool is 0 or 1 in memory.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sigOf digests a record into its weight-table row, or -1 when the
+// record cannot index any table (granularity out of range, chip position
+// negative or absurd). The signature is config-free: whether the chip
+// row actually exists in a given evaluator's table is decided there by a
+// bounds check. The chip cap only guards int32 overflow — real
+// configurations have single-digit chips per rank.
+func sigOf(r *FaultRecord) int32 {
+	if uint(r.Gran) >= uint(dram.NumGranularities) || uint(r.Chip) >= 1<<20 {
+		return -1
+	}
+	return int32(r.Chip)*int32(laneNSig) + int32(laneSig(r))
+}
+
+// laneVecGroup is the number of domain schemes whose weight codes share
+// one interleaved table word; schemes beyond it go into further groups.
+const laneVecGroup = 8
+
+// Weight-code byte values are 0, 1 or 2, so within a code word bit 1 of
+// a byte marks "overweight" and bit 0 OR bit 1 marks "weighted".
+const (
+	laneOver = 0x0202020202020202
+	laneWt   = 0x0101010101010101
+	// laneGather collects the low bit of every byte into the top byte:
+	// each byte holds at most one set bit, so the sums cannot carry.
+	laneGather = 0x0102040810204080
+)
+
+// laneScheme is one scheme's bit-sliced state.
+type laneScheme struct {
+	ds     *domainScheme // nil → opaque scheme, judged per lane
+	scheme Scheme
+	domIdx int // index into the per-record doms array
+
+	seen    []uint64         // per-domain: lanes holding >= 1 weighted record
+	pair    uint64           // lanes where two weighted records met in one domain
+	over    uint64           // multi-record lanes holding an overweight record
+	overS   uint64           // single-record lanes whose record is overweight
+	need    uint64           // lanes routed to the scalar probe this batch
+	overRec [LaneWidth]int32 // per multi lane: its earliest overweight record
+
+	// hashFree marks schemes whose kind function ignores the event hash
+	// (NonECC, XED); their direct-pass outcomes use constKind without
+	// computing laneEventHash or making the indirect kind call.
+	hashFree  bool
+	constKind FailKind
+}
+
+// LaneEvaluator judges LaneBatches against the schemes of its Evaluator.
+// It shares the Evaluator's config, scheme set and scalar probe scratch,
+// so outcomes are bit-identical to Evaluator.EvaluateInto lane by lane —
+// FuzzLaneVsIndexedEvaluator and the conformance differential hold it to
+// that. Not safe for concurrent use; the campaign gives each worker its
+// own.
+type LaneEvaluator struct {
+	ev *Evaluator
+	ls []laneScheme
+
+	// dsIdx lists the indices into ls that are domain schemes, in table
+	// slot order: group g, byte k ↔ dsIdx[g*laneVecGroup+k]. slots holds
+	// the same mapping as direct pointers for the mask-pass inner loop.
+	dsIdx []int
+	slots [][laneVecGroup]*laneScheme
+	// codes[g][sig] interleaves the weight codes of group g's schemes,
+	// byte k belonging to slots[g][k]. See buildWeightCodes. ovBytes[g][sig]
+	// is the same table pre-collapsed for single-record lanes: bit k set
+	// means the signature is overweight for slots[g][k] (the movemask
+	// multiply hoisted out of the mask pass).
+	codes   [][]uint64
+	ovBytes [][]uint8
+
+	// overSlots[g][L] is the mask-pass scratch for single-record lanes:
+	// bit k set means lane L's record is overweight for slots[g][k]. The
+	// probe pass transposes it into per-scheme overS lane masks. The
+	// record itself is overRecL[L] (one per lane: it is the lane's only
+	// record, shared by every scheme and group).
+	overSlots [][LaneWidth]uint8
+	overRecL  [LaneWidth]int32
+
+	// Per-scheme results of the last EvaluateBatch. fail[s] bit L set
+	// means lane L failed scheme s, with the outcome in outs[s*64+L];
+	// clear bits mean {+Inf, FailNone} (outs not written). For opaque
+	// schemes outs is written for every live lane.
+	fail []uint64
+	outs []TrialOutcome
+
+	// scalar is the lane mask forced wholesale onto the scalar path:
+	// lanes holding a record outside the digest envelope (signature or
+	// channel/rank beyond the configured fleet — hand-built or foreign
+	// streams only; the generator cannot produce them).
+	scalar uint64
+
+	// recHash memoises eventHash per batch record so a record failing
+	// several schemes is hashed once. Zero means "not yet computed";
+	// a genuine zero hash is merely recomputed, never wrong.
+	recHash []float64
+
+	// Instrumentation (nil-safe): batches judged, lanes probed scalar.
+	batches *obs.Counter
+	probes  *obs.Counter
+}
+
+// NewLaneEvaluator builds the bit-sliced engine over ev's config and
+// schemes. The per-scheme weight tables are materialised here by probing
+// each weight function across every (chip, signature) combination — see
+// buildWeightCodes for the purity contract this relies on.
+func NewLaneEvaluator(ev *Evaluator) *LaneEvaluator {
+	lv := &LaneEvaluator{ev: ev}
+	cfg := ev.cfg
+	for i := range ev.evals {
+		se := &ev.evals[i]
+		ls := laneScheme{ds: se.ds, scheme: se.scheme}
+		if se.ds != nil {
+			var domains int
+			switch se.ds.dom {
+			case domainRank:
+				ls.domIdx, domains = 0, cfg.Channels*cfg.RanksPerChannel
+			case domainChannel:
+				ls.domIdx, domains = 1, cfg.Channels
+			case domainChannelPair:
+				ls.domIdx, domains = 2, (cfg.Channels+1)/2
+			default:
+				// Unknown mapping: fold the whole trial into one
+				// pseudo-domain. Conservative (more scalar probes),
+				// never wrong (see package comment).
+				ls.domIdx, domains = 3, 1
+			}
+			ls.seen = make([]uint64, domains)
+			ls.constKind, ls.hashFree = hashFreeKind(se.ds.kind)
+			lv.dsIdx = append(lv.dsIdx, i)
+		}
+		lv.ls = append(lv.ls, ls)
+	}
+	// Interleave the weight codes group by group.
+	ncodes := cfg.ChipsPerRank * laneNSig
+	for g := 0; g*laneVecGroup < len(lv.dsIdx); g++ {
+		tab := make([]uint64, ncodes)
+		var sl [laneVecGroup]*laneScheme
+		for k := 0; k < laneVecGroup && g*laneVecGroup+k < len(lv.dsIdx); k++ {
+			sl[k] = &lv.ls[lv.dsIdx[g*laneVecGroup+k]]
+			per := buildWeightCodes(cfg, sl[k].ds)
+			for w, c := range per {
+				tab[w] |= uint64(c) << (8 * k)
+			}
+		}
+		ovb := make([]uint8, ncodes)
+		for s, vec := range tab {
+			ovb[s] = uint8((vec & laneOver >> 1 * laneGather) >> 56)
+		}
+		lv.codes = append(lv.codes, tab)
+		lv.ovBytes = append(lv.ovBytes, ovb)
+		lv.slots = append(lv.slots, sl)
+		lv.overSlots = append(lv.overSlots, [LaneWidth]uint8{})
+	}
+	lv.fail = make([]uint64, len(lv.ls))
+	lv.outs = make([]TrialOutcome, len(lv.ls)*LaneWidth)
+	return lv
+}
+
+// buildWeightCodes tabulates ds.weight over every (chip position, fault
+// signature) pair, already folded against the scheme's capacity.
+//
+// Purity contract: a domainScheme weight function must depend only on
+// r.Chip, r.Gran, r.Transient, r.Silent and r.EscalatedByScaling (plus
+// the Config). Every stock weight function does, and Evaluator.classLive
+// already bakes the same assumption into generation-time class filtering;
+// NewRankErasureScheme documents it for synthetic schemes. Fields outside
+// the signature (times, addresses, channel/rank) must not influence the
+// weight — the scalar probe would still be exact for such a scheme, but
+// the mask pass could misclassify a lane as trivially alive.
+func buildWeightCodes(cfg *Config, ds *domainScheme) []uint8 {
+	codes := make([]uint8, cfg.ChipsPerRank*laneNSig)
+	var r FaultRecord
+	for chip := 0; chip < cfg.ChipsPerRank; chip++ {
+		r.Chip = chip
+		for g := dram.Granularity(0); g < dram.NumGranularities; g++ {
+			r.Gran = g
+			for flags := 0; flags < 8; flags++ {
+				r.Transient = flags&1 != 0
+				r.Silent = flags&2 != 0
+				r.EscalatedByScaling = flags&4 != 0
+				w := ds.weight(cfg, &r)
+				idx := chip*laneNSig + int(g)*8 + flags
+				switch {
+				case w == 0:
+					codes[idx] = 0
+				case w > ds.capacity:
+					codes[idx] = 2
+				default:
+					codes[idx] = 1
+				}
+			}
+		}
+	}
+	return codes
+}
+
+// SetCounters attaches instrumentation: batches ticks per EvaluateBatch,
+// probes per lane routed to the scalar path. nil detaches (the default).
+func (lv *LaneEvaluator) SetCounters(batches, probes *obs.Counter) {
+	lv.batches, lv.probes = batches, probes
+}
+
+// EvaluateBatch judges every packed lane under every scheme, leaving the
+// results in the evaluator's fail masks / outcome slots (see the field
+// docs) and the batch's voided mask. Lanes are independent: outcomes are
+// bit-identical to calling Evaluator.EvaluateInto on each lane's records
+// in isolation. A panic inside scheme code voids that lane only.
+func (lv *LaneEvaluator) EvaluateBatch(b *LaneBatch) {
+	ev := lv.ev
+	ev.trials.Add(uint64(b.lanes))
+	lv.batches.Inc()
+	active := b.activeMask()
+
+	if ev.scalingFatal {
+		// Mirrors evalDomain's early-out: without On-Die ECC, birthtime
+		// scaling faults defeat every domain scheme at t=0.
+		for si := range lv.ls {
+			ls := &lv.ls[si]
+			if ls.ds == nil {
+				lv.probeGeneric(b, si)
+				continue
+			}
+			lv.fail[si] = active
+			for L := 0; L < b.lanes; L++ {
+				lv.outs[si*LaneWidth+L] = TrialOutcome{FailTime: 0, Kind: FailSDC}
+			}
+		}
+		return
+	}
+
+	lv.maskPass(b)
+
+	// Transpose the single-record overweight scratch into per-scheme
+	// lane masks, and gather the scalar-probe set.
+	var needAll uint64
+	for g := range lv.overSlots {
+		ovs := lv.overSlots[g][:]
+		sl := &lv.slots[g]
+		var words [LaneWidth / 8]uint64
+		var colMask uint64
+		for w := range words {
+			words[w] = binary.LittleEndian.Uint64(ovs[w*8:])
+			colMask |= words[w]
+		}
+		for k := 0; k < laneVecGroup && sl[k] != nil; k++ {
+			// Slot columns no single-record lane marked (most schemes on a
+			// typical batch) skip the movemask entirely.
+			if colMask>>uint(k)&laneWt == 0 {
+				sl[k].overS = 0
+				continue
+			}
+			var m uint64
+			for w := 0; w < LaneWidth/8; w++ {
+				if word := words[w]; word != 0 {
+					m |= ((word >> uint(k) & laneWt) * laneGather) >> 56 << (8 * w)
+				}
+			}
+			sl[k].overS = m
+		}
+	}
+	for _, si := range lv.dsIdx {
+		ls := &lv.ls[si]
+		lv.fail[si] = 0
+		ls.need = (ls.pair | lv.scalar) & active
+		needAll |= ls.need
+		lv.probes.Add(uint64(bits.OnesCount64(ls.need)))
+	}
+
+	// Probe pass: exact scalar evaluation for the lanes the masks could
+	// not clear, prepared once per lane for every scheme that needs it.
+	for m := needAll &^ b.voided; m != 0; m &= m - 1 {
+		lv.probeLane(b, bits.TrailingZeros64(m))
+	}
+
+	// Direct pass: a lane in `over`/`overS` but not in `need` has no two
+	// weighted records sharing a domain, so concurrency probes cannot
+	// exceed capacity and its failure is exactly its earliest overweight
+	// record — the reference probe's single-record branch, inline.
+	for _, si := range lv.dsIdx {
+		ls := &lv.ls[si]
+		outs := lv.outs[si*LaneWidth : (si+1)*LaneWidth]
+		fm := lv.fail[si]
+		multi := ls.over
+		direct := (ls.overS | ls.over) & active &^ ls.need &^ b.voided
+		fm |= direct
+		if ls.hashFree {
+			// Constant-kind schemes (NonECC, XED) never consult the event
+			// hash, so the outcome is just the record's start time.
+			ck := ls.constKind
+			for m := direct; m != 0; m &= m - 1 {
+				L := bits.TrailingZeros64(m)
+				ri := lv.overRecL[L]
+				if multi&(1<<uint(L)) != 0 {
+					ri = ls.overRec[L]
+				}
+				outs[L] = TrialOutcome{FailTime: b.lrs[ri].start, Kind: ck}
+			}
+			lv.fail[si] = fm
+			continue
+		}
+		kind := ls.ds.kind
+		for m := direct; m != 0; m &= m - 1 {
+			L := bits.TrailingZeros64(m)
+			ri := lv.overRecL[L]
+			if multi&(1<<uint(L)) != 0 {
+				ri = ls.overRec[L]
+			}
+			lr := &b.lrs[ri]
+			h := lv.recHash[ri]
+			if h == 0 {
+				h = laneEventHash(lr)
+				lv.recHash[ri] = h
+			}
+			outs[L] = TrialOutcome{FailTime: lr.start, Kind: kind(b2i(lr.silent), 1, h)}
+		}
+		lv.fail[si] = fm
+	}
+
+	// Opaque schemes last: they judge every lane individually.
+	for si := range lv.ls {
+		if lv.ls[si].ds == nil {
+			lv.probeGeneric(b, si)
+		}
+	}
+}
+
+// maskPass sweeps the batch's signatures once, classifying every lane for
+// every domain scheme. Single-record lanes never pair, so their verdict
+// needs only the signature: the overweight slot mask lands in overSlots
+// via a multiply-movemask without touching the record. Multi-record
+// lanes additionally run the per-domain seen/pair bookkeeping and track
+// their earliest overweight record. Lanes with a record the tables
+// cannot describe (signature or channel/rank out of the envelope) go to
+// the scalar probe wholesale — except single-record lanes, whose verdict
+// provably cannot depend on channel or rank (no domain bucketing ever
+// happens), so only the signature bound matters for them.
+func (lv *LaneEvaluator) maskPass(b *LaneBatch) {
+	cfg := lv.ev.cfg
+	rpc, nch := cfg.RanksPerChannel, cfg.Channels
+	for _, si := range lv.dsIdx {
+		ls := &lv.ls[si]
+		clear(ls.seen)
+		ls.pair, ls.over = 0, 0
+	}
+	for g := range lv.overSlots {
+		clear(lv.overSlots[g][:])
+	}
+	if cap(lv.recHash) < len(b.recs) {
+		lv.recHash = make([]float64, len(b.recs))
+	} else {
+		lv.recHash = lv.recHash[:len(b.recs)]
+		clear(lv.recHash)
+	}
+
+	lrs := b.lrs
+	urpc, unch := uint32(rpc), uint32(nch)
+	var scalar uint64
+	var doms [4]int32
+
+	if len(lv.codes) == 1 {
+		// One table word covers every domain scheme — the common case
+		// (AllSchemes is 6) — so the group loop vanishes from the
+		// per-record path.
+		tab := lv.codes[0]
+		ovb := lv.ovBytes[0]
+		sl := &lv.slots[0]
+		ovs := &lv.overSlots[0]
+		for L := 0; L < b.lanes; L++ {
+			lo, hi := int(b.offs[L]), int(b.offs[L+1])
+			if hi-lo == 1 {
+				s := lrs[lo].sig
+				if uint64(s) >= uint64(len(ovb)) {
+					scalar |= uint64(1) << uint(L)
+					continue
+				}
+				// Branchless: most lanes flip between overweight and
+				// not, so storing an occasionally-zero mask beats a
+				// coin-toss branch. overRecL is only read under a set
+				// overS bit, so the unconditional write is safe.
+				ovs[L] = ovb[s]
+				lv.overRecL[L] = int32(lo)
+				continue
+			}
+			bit := uint64(1) << uint(L)
+			for ri := lo; ri < hi; ri++ {
+				lr := &lrs[ri]
+				if uint64(lr.sig) >= uint64(len(tab)) ||
+					uint32(lr.ch) >= unch || uint32(lr.rk) >= urpc {
+					scalar |= bit
+					break // remaining records of this lane are moot
+				}
+				vec := tab[lr.sig]
+				if vec == 0 {
+					continue // invisible to every scheme
+				}
+				doms = [4]int32{lr.ch*int32(rpc) + lr.rk, lr.ch, lr.ch / 2, 0}
+				for wt := (vec | vec>>1) & laneWt; wt != 0; wt &= wt - 1 {
+					k := bits.TrailingZeros64(wt) >> 3
+					ls := sl[k]
+					dom := doms[ls.domIdx]
+					m := ls.seen[dom]
+					ls.pair |= m & bit
+					ls.seen[dom] = m | bit
+					if vec>>(uint(k)*8)&0xff == 2 {
+						// Keep the earliest-starting overweight record;
+						// strict < matches the reference probe's
+						// first-record-wins tie-break.
+						if ls.over&bit == 0 || lr.start < lrs[ls.overRec[L]].start {
+							ls.overRec[L] = int32(ri)
+						}
+						ls.over |= bit
+					}
+				}
+			}
+		}
+		lv.scalar = scalar
+		return
+	}
+
+	ncodes := uint64(len(lv.codes[0]))
+	for L := 0; L < b.lanes; L++ {
+		lo, hi := int(b.offs[L]), int(b.offs[L+1])
+		bit := uint64(1) << uint(L)
+		single := hi-lo == 1
+		for ri := lo; ri < hi; ri++ {
+			lr := &lrs[ri]
+			if single {
+				if uint64(lr.sig) >= ncodes {
+					scalar |= bit
+					break
+				}
+				for g := range lv.ovBytes {
+					lv.overSlots[g][L] = lv.ovBytes[g][lr.sig]
+				}
+				lv.overRecL[L] = int32(lo)
+				continue
+			}
+			if uint64(lr.sig) >= ncodes ||
+				uint32(lr.ch) >= unch || uint32(lr.rk) >= urpc {
+				scalar |= bit
+				break
+			}
+			doms = [4]int32{lr.ch*int32(rpc) + lr.rk, lr.ch, lr.ch / 2, 0}
+			for g := range lv.codes {
+				vec := lv.codes[g][lr.sig]
+				if vec == 0 {
+					continue
+				}
+				sl := &lv.slots[g]
+				for wt := (vec | vec>>1) & laneWt; wt != 0; wt &= wt - 1 {
+					k := bits.TrailingZeros64(wt) >> 3
+					ls := sl[k]
+					dom := doms[ls.domIdx]
+					m := ls.seen[dom]
+					ls.pair |= m & bit
+					ls.seen[dom] = m | bit
+					if vec>>(uint(k)*8)&0xff == 2 {
+						if ls.over&bit == 0 || lr.start < lrs[ls.overRec[L]].start {
+							ls.overRec[L] = int32(ri)
+						}
+						ls.over |= bit
+					}
+				}
+			}
+		}
+	}
+	lv.scalar = scalar
+}
+
+// probeLane judges lane L under every domain scheme whose need mask holds
+// it, sharing one digest (Evaluator.prepare) across the schemes and
+// containing any panic to the lane.
+func (lv *LaneEvaluator) probeLane(b *LaneBatch, L int) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.voided |= 1 << uint(L)
+			b.panicVal[L] = fmt.Sprint(r)
+			b.stack[L] = string(debug.Stack())
+		}
+	}()
+	faults := b.LaneFaults(L)
+	lv.ev.prepare(faults)
+	bit := uint64(1) << uint(L)
+	for _, si := range lv.dsIdx {
+		ls := &lv.ls[si]
+		if ls.need&bit == 0 {
+			continue
+		}
+		out := lv.ev.evalDomainPrepared(ls.ds, faults)
+		if !math.IsInf(out.FailTime, 1) {
+			lv.fail[si] |= bit
+			lv.outs[si*LaneWidth+L] = out
+		}
+	}
+}
+
+// probeGeneric judges every live lane under an opaque (non-domainScheme)
+// scheme. Unlike domain schemes, outcomes are stored for alive lanes too:
+// an opaque KindedScheme may legally return a finite-kind survival that
+// AppendLaneOutcomes must reproduce.
+func (lv *LaneEvaluator) probeGeneric(b *LaneBatch, si int) {
+	lv.fail[si] = 0
+	lv.probes.Add(uint64(b.lanes))
+	for L := 0; L < b.lanes; L++ {
+		if b.voided&(1<<uint(L)) != 0 {
+			continue
+		}
+		lv.probeGenericLane(b, si, L)
+	}
+}
+
+func (lv *LaneEvaluator) probeGenericLane(b *LaneBatch, si, L int) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.voided |= 1 << uint(L)
+			b.panicVal[L] = fmt.Sprint(r)
+			b.stack[L] = string(debug.Stack())
+		}
+	}()
+	out := lv.ev.genericOutcome(lv.ls[si].scheme, b.LaneFaults(L))
+	lv.outs[si*LaneWidth+L] = out
+	if !math.IsInf(out.FailTime, 1) {
+		lv.fail[si] |= 1 << uint(L)
+	}
+}
+
+// FailMask returns the last batch's failure lane mask for scheme s.
+func (lv *LaneEvaluator) FailMask(s int) uint64 { return lv.fail[s] }
+
+// AppendLaneOutcomes unpacks lane L's outcomes — one per scheme, in the
+// Evaluator's scheme order — appending to out[:0]. It must not be called
+// for a voided lane (check the batch's Voided mask).
+func (lv *LaneEvaluator) AppendLaneOutcomes(L int, out []TrialOutcome) []TrialOutcome {
+	out = out[:0]
+	bit := uint64(1) << uint(L)
+	for si := range lv.ls {
+		switch {
+		case lv.fail[si]&bit != 0 || lv.ls[si].ds == nil:
+			out = append(out, lv.outs[si*LaneWidth+L])
+		default:
+			out = append(out, TrialOutcome{FailTime: math.Inf(1), Kind: FailNone})
+		}
+	}
+	return out
+}

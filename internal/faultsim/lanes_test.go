@@ -1,0 +1,365 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/obs"
+	"xedsim/internal/simrand"
+)
+
+// denseConfig inflates the Table I rates so multi-record trials — the
+// lanes the mask pass must route to the scalar probe — are common enough
+// to exercise at small trial counts.
+func denseConfig(factor FIT) Config {
+	cfg := DefaultConfig()
+	fits := make(FITTable, len(cfg.FITs))
+	copy(fits, cfg.FITs)
+	for i := range fits {
+		fits[i].Rate *= factor
+	}
+	cfg.FITs = fits
+	return cfg
+}
+
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{
+		"": EngineIndexed, "indexed": EngineIndexed,
+		"lanes": EngineLanes, "reference": EngineReference,
+	} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("ParseEngine accepted an unknown engine")
+	}
+	if _, err := RunCampaign(context.Background(), DefaultConfig(), AllSchemes(),
+		CampaignOptions{Trials: 10, Engine: "warp"}); err == nil {
+		t.Fatal("RunCampaign accepted an unknown engine")
+	}
+}
+
+// TestLaneEngineBoundaries pins the lane-packing arithmetic at the word
+// boundaries: trial counts around one lane word, chunks smaller than a
+// word (so every batch is partial), and chunks that split words unevenly.
+// Every engine must produce bit-identical Results.
+func TestLaneEngineBoundaries(t *testing.T) {
+	cfg := denseConfig(150)
+	schemes := AllSchemes()
+	for _, trials := range []int{1, 63, 64, 65, 130} {
+		for _, chunk := range []int{1, 7, 64, 4096} {
+			base := CampaignOptions{Trials: trials, Seed: 7, ChunkSize: chunk, Workers: 2}
+			var want *Report
+			for _, engine := range []Engine{EngineIndexed, EngineLanes, EngineReference} {
+				opts := base
+				opts.Engine = engine
+				rep := mustCampaign(t, context.Background(), cfg, schemes, opts)
+				if engine == EngineIndexed {
+					want = rep
+					continue
+				}
+				if !reflect.DeepEqual(rep.Results, want.Results) {
+					t.Fatalf("trials=%d chunk=%d engine=%s diverged from indexed:\n%+v\nvs\n%+v",
+						trials, chunk, engine, rep.Results, want.Results)
+				}
+			}
+		}
+	}
+}
+
+// TestLaneEngineEquivalenceSweep runs a larger campaign across the config
+// corners the lane masks special-case: silent word faults (overweight
+// lanes), scaling escalation, x4 organisations, the address-overlap
+// criterion, and the scaling-fatal early-out.
+func TestLaneEngineEquivalenceSweep(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"tableI":       func(c *Config) {},
+		"silent-heavy": func(c *Config) { c.SilentWordFraction = 0.5 },
+		"x4":           func(c *Config) { c.ChipsPerRank = 18 },
+		"scaling":      func(c *Config) { c.ScalingRate = 1e-4 },
+		"overlap":      func(c *Config) { c.RequireAddressOverlap = true },
+		"noOnDie":      func(c *Config) { c.OnDie = false },
+		"fatal":        func(c *Config) { c.OnDie = false; c.ScalingRate = 1e-4 },
+		"aging":        func(c *Config) { c.Aging = BathtubAging() },
+	}
+	for name, mutate := range mutations {
+		cfg := denseConfig(80)
+		mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		opts := CampaignOptions{Trials: 30_000, Seed: 11, ChunkSize: 512, Workers: 4}
+		indexed := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+		opts.Engine = EngineLanes
+		lanes := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+		if !reflect.DeepEqual(indexed.Results, lanes.Results) {
+			t.Fatalf("%s: lane engine diverged:\n%+v\nvs\n%+v", name, lanes.Results, indexed.Results)
+		}
+		if indexed.Trials != lanes.Trials {
+			t.Fatalf("%s: trial counts differ: %d vs %d", name, indexed.Trials, lanes.Trials)
+		}
+	}
+}
+
+// chipParityScheme builds a domainScheme with an off-menu domain mapping
+// (chips split by parity) and no domainTag: the lane engine must detect
+// the custom mapping and stay exact through the conservative
+// whole-trial-as-one-domain path.
+func chipParityScheme(capacity int) Scheme {
+	return &domainScheme{
+		name:     "chip-parity",
+		domainOf: func(cfg *Config, r *FaultRecord) int { return r.Chip % 2 },
+		capacity: capacity,
+		weight:   visibleWeight,
+		kind:     xedKind,
+	}
+}
+
+func TestLaneEngineCustomDomainAndHeavyWeights(t *testing.T) {
+	cfg := denseConfig(200)
+	heavy := func(w int) weightFunc {
+		return func(cfg *Config, r *FaultRecord) int {
+			if visibleWeight(cfg, r) == 0 {
+				return 0
+			}
+			return w
+		}
+	}
+	schemes := []Scheme{
+		NewXED(),
+		chipParityScheme(1),
+		// Weights straddling the scalar probe's int8 envelope: 130 forces
+		// its reference fallback inside a lane probe.
+		NewRankErasureScheme("Heavy120", 200, heavy(120)),
+		NewRankErasureScheme("Heavy130", 200, heavy(130)),
+	}
+	opts := CampaignOptions{Trials: 20_000, Seed: 3, ChunkSize: 512, Workers: 2}
+	indexed := mustCampaign(t, context.Background(), cfg, schemes, opts)
+	opts.Engine = EngineLanes
+	lanes := mustCampaign(t, context.Background(), cfg, schemes, opts)
+	if !reflect.DeepEqual(indexed.Results, lanes.Results) {
+		t.Fatalf("lane engine diverged on custom/heavy schemes:\n%+v\nvs\n%+v",
+			lanes.Results, indexed.Results)
+	}
+}
+
+// TestLaneEnginePanicIsolation: a panicking opaque scheme voids exactly
+// the same trials under the lane engine as under the indexed one, and the
+// surviving tallies stay bit-identical.
+func TestLaneEnginePanicIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := []Scheme{NewXED(), &panicScheme{minFaults: 2}}
+	opts := campaignTestOpts()
+	opts.ErrorBudget = 1 << 20
+	indexed, err := RunCampaign(context.Background(), cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = EngineLanes
+	lanes, err := RunCampaign(context.Background(), cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed.TrialErrors) == 0 {
+		t.Fatal("stub never panicked; weaken minFaults")
+	}
+	if !reflect.DeepEqual(indexed.Results, lanes.Results) {
+		t.Fatalf("results diverged under panics:\n%+v\nvs\n%+v", lanes.Results, indexed.Results)
+	}
+	if len(indexed.TrialErrors) != len(lanes.TrialErrors) {
+		t.Fatalf("%d trial errors under lanes vs %d under indexed",
+			len(lanes.TrialErrors), len(indexed.TrialErrors))
+	}
+	for i := range indexed.TrialErrors {
+		a, b := &lanes.TrialErrors[i], &indexed.TrialErrors[i]
+		if a.Trial != b.Trial || a.Chunk != b.Chunk || a.RNGState != b.RNGState ||
+			a.PanicValue != b.PanicValue || !reflect.DeepEqual(a.Faults, b.Faults) {
+			t.Fatalf("trial error %d differs:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+	// The lane engine honours the error budget through the same merge path.
+	opts.ErrorBudget = -1
+	if _, err := RunCampaign(context.Background(), cfg, schemes, opts); !errors.Is(err, ErrErrorBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrErrorBudgetExceeded", err)
+	}
+}
+
+// TestLaneEngineCrossEngineResume: the engine is excluded from the
+// checkpoint config hash, so a campaign interrupted under the indexed
+// engine resumes under the lane engine — and still equals an
+// uninterrupted run bit for bit.
+func TestLaneEngineCrossEngineResume(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := AllSchemes()
+	full := mustCampaign(t, context.Background(), cfg, schemes, campaignTestOpts())
+
+	path := filepath.Join(t.TempDir(), "campaign.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := campaignTestOpts()
+	opts.Workers = 2
+	opts.CheckpointPath = path
+	opts.CheckpointInterval = time.Nanosecond
+	opts.OnChunk = func(done, total int) {
+		if done >= total/2 {
+			cancel()
+		}
+	}
+	rep, err := RunCampaign(ctx, cfg, schemes, opts)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v", err)
+	}
+	if rep.Trials >= rep.Requested {
+		t.Skip("cancel raced ahead of the workers; nothing to resume")
+	}
+
+	resumed := opts
+	resumed.OnChunk = nil
+	resumed.Resume = true
+	resumed.Engine = EngineLanes
+	rep2 := mustCampaign(t, context.Background(), cfg, schemes, resumed)
+	if rep2.Trials != full.Trials || !reflect.DeepEqual(rep2.Results, full.Results) {
+		t.Fatalf("cross-engine resume diverged from uninterrupted run:\n%+v\nvs\n%+v",
+			rep2.Results, full.Results)
+	}
+}
+
+// TestLaneEvaluatorDirect drives the LaneEvaluator through its public
+// packing API on crafted streams: a compound rank failure, an overweight
+// silent fault, and an empty lane, all in one batch.
+func TestLaneEvaluatorDirect(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := AllSchemes()
+	ev := NewEvaluator(&cfg, schemes)
+	lv := NewLaneEvaluator(ev)
+
+	mk := func(ch, rank, chip int, start, end float64, silent, transient bool) FaultRecord {
+		return FaultRecord{Channel: ch, Rank: rank, Chip: chip, Start: start, End: end,
+			Gran: 1 /* GranWord */, Silent: silent, Transient: transient}
+	}
+	trials := [][]FaultRecord{
+		nil, // empty lane
+		{mk(0, 0, 1, 100, 61320, false, false)},                                         // lone visible fault
+		{mk(0, 0, 1, 100, 61320, false, false), mk(0, 0, 3, 200, 61320, false, false)},  // two chips, one rank
+		{mk(1, 1, 2, 50, 61320, true, true)},                                            // silent transient word: XED DUE
+		{mk(2, 0, 0, 10, 61320, false, false), mk(3, 0, 0, 10, 61320, false, false)},    // distinct channels
+		{mk(0, 0, 5, 500, 600, false, true), mk(0, 1, 5, 550, 61320, false, false)},     // cross-rank, same channel
+	}
+	var b LaneBatch
+	var st simrand.State
+	for i, faults := range trials {
+		b.Add(i, st, faults)
+	}
+	lv.EvaluateBatch(&b)
+	if b.Voided() != 0 {
+		t.Fatalf("unexpected voided lanes %#x", b.Voided())
+	}
+	var want, got []TrialOutcome
+	for L, faults := range trials {
+		want = ev.EvaluateInto(faults, want)
+		got = lv.AppendLaneOutcomes(L, got)
+		for s := range schemes {
+			if math.Float64bits(got[s].FailTime) != math.Float64bits(want[s].FailTime) || got[s].Kind != want[s].Kind {
+				t.Fatalf("lane %d scheme %s: lanes (%v,%v) != indexed (%v,%v)",
+					L, schemes[s].Name(), got[s].FailTime, got[s].Kind, want[s].FailTime, want[s].Kind)
+			}
+		}
+	}
+	// Out-of-envelope records route the whole lane to the scalar path.
+	b.Reset()
+	foreign := []FaultRecord{mk(99, 0, 0, 5, 61320, false, false)}
+	b.Add(0, st, foreign)
+	lv.EvaluateBatch(&b)
+	want = ev.EvaluateInto(foreign, want)
+	got = lv.AppendLaneOutcomes(0, got)
+	for s := range schemes {
+		if math.Float64bits(got[s].FailTime) != math.Float64bits(want[s].FailTime) || got[s].Kind != want[s].Kind {
+			t.Fatalf("foreign record, scheme %s: lanes (%v,%v) != indexed (%v,%v)",
+				schemes[s].Name(), got[s].FailTime, got[s].Kind, want[s].FailTime, want[s].Kind)
+		}
+	}
+}
+
+// TestLaneEvaluateBatchAllocFree holds the lane engine's hot path to the
+// same zero-allocation bar as EvaluateInto: once the per-scheme masks and
+// the scalar probe's scratch are warm, judging a full 64-lane batch must
+// not touch the heap.
+func TestLaneEvaluateBatchAllocFree(t *testing.T) {
+	cfg := denseConfig(100)
+	gen := newGenerator(&cfg)
+	ev := NewEvaluator(&cfg, AllSchemes())
+	lv := NewLaneEvaluator(ev)
+	rng := simrand.New(9)
+	var b LaneBatch
+	var st simrand.State
+	for L := 0; L < LaneWidth; L++ {
+		b.Add(L, st, gen.Trial(rng, nil))
+	}
+	lv.EvaluateBatch(&b) // warm the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		lv.EvaluateBatch(&b)
+	})
+	if allocs != 0 {
+		t.Fatalf("EvaluateBatch allocates %v times per batch, want 0", allocs)
+	}
+}
+
+// TestLaneEngineMetrics: the lane engine keeps the campaign counters the
+// indexed engine publishes (trials_evaluated covers every judged lane) and
+// adds batch/probe telemetry.
+func TestLaneEngineMetrics(t *testing.T) {
+	cfg := denseConfig(100)
+	reg := obs.NewRegistry()
+	opts := CampaignOptions{Trials: 20_000, Seed: 5, ChunkSize: 512, Metrics: reg, Engine: EngineLanes}
+	rep := mustCampaign(t, context.Background(), cfg, AllSchemes(), opts)
+
+	snap := reg.Snapshot().Counters
+	if snap["campaign.trials_done"] != rep.Trials {
+		t.Fatalf("trials_done %d != report %d", snap["campaign.trials_done"], rep.Trials)
+	}
+	if snap["campaign.lane_batches"] == 0 {
+		t.Fatal("lane_batches never ticked")
+	}
+	if snap["campaign.trials_evaluated"] == 0 {
+		t.Fatal("trials_evaluated never ticked under the lane engine")
+	}
+	// Scalar probes exist at this density (multi-record rank collisions).
+	if snap["campaign.lane_probes"] == 0 {
+		t.Fatal("lane_probes never ticked at 100x density")
+	}
+}
+
+// TestLaneEventHashMatches pins the laneRec digestion against the scalar
+// path: the pre-mixed key in a laneRec must reproduce eventHash bit for
+// bit, because direct-pass failure kinds (SECDED SDC-vs-DUE splits, the
+// Chipkill hash thresholds) are decided by this value.
+func TestLaneEventHashMatches(t *testing.T) {
+	rng := simrand.New(99)
+	for i := 0; i < 10_000; i++ {
+		r := FaultRecord{
+			Channel:   int(rng.Uint64n(8)),
+			Rank:      int(rng.Uint64n(4)),
+			Chip:      int(rng.Uint64n(64)),
+			Gran:      dram.Granularity(rng.Uint64n(uint64(dram.NumGranularities))),
+			Start:     rng.Float64() * 7 * 365 * 24,
+			Transient: rng.Uint64n(2) == 0,
+			Silent:    rng.Uint64n(2) == 0,
+		}
+		lr := digestRecord(&r)
+		if got, want := laneEventHash(&lr), eventHash(&r); got != want {
+			t.Fatalf("record %+v: laneEventHash %v != eventHash %v", r, got, want)
+		}
+		if lr.silent != isSilentRecord(&r) || lr.start != r.Start ||
+			lr.ch != int32(r.Channel) || lr.rk != int32(r.Rank) {
+			t.Fatalf("record %+v: digest %+v drops a field", r, lr)
+		}
+	}
+}

@@ -161,7 +161,13 @@ func newRunGenerator(cfg *Config, ev *Evaluator) *generator {
 // the instantaneous multiplier, which samples the non-homogeneous Poisson
 // process exactly.
 func (g *generator) Trial(rng *simrand.Source, buf []FaultRecord) []FaultRecord {
-	buf = buf[:0]
+	return g.trialAppend(rng, buf[:0])
+}
+
+// trialAppend is Trial without the truncation: the lane-batch engine packs
+// many trials' records back to back in one backing array. The RNG draw
+// sequence is identical to Trial's.
+func (g *generator) trialAppend(rng *simrand.Source, buf []FaultRecord) []FaultRecord {
 	aging := g.cfg.Aging
 	if !aging.enabled() {
 		n := g.trialCount.Sample(rng)
@@ -196,7 +202,13 @@ func (g *generator) Trial(rng *simrand.Source, buf []FaultRecord) []FaultRecord 
 // thinning can still return an empty buf, which callers treat as one more
 // surviving trial.
 func (g *generator) nextNonEmpty(rng *simrand.Source, buf []FaultRecord) (skipped int, out []FaultRecord) {
-	buf = buf[:0]
+	return g.nextNonEmptyAppend(rng, buf[:0])
+}
+
+// nextNonEmptyAppend is nextNonEmpty appending to buf instead of
+// truncating it (see trialAppend). Callers detect an empty draw by
+// comparing len(out) against the pre-call length.
+func (g *generator) nextNonEmptyAppend(rng *simrand.Source, buf []FaultRecord) (skipped int, out []FaultRecord) {
 	aging := g.cfg.Aging
 	if g.totalMean <= 0 {
 		return int(^uint(0) >> 1), buf // no faults ever: skip everything

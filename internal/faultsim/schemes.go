@@ -26,12 +26,26 @@ type Scheme interface {
 //	    symbols (2t+e ≤ R) on a chip whose damage produced no catch-word.
 type weightFunc func(cfg *Config, r *FaultRecord) int
 
+// domainTag names the stock domain mappings so engines that cannot
+// compare function values (the lane engine's mask pass) can recognise
+// them. The zero value marks an off-menu mapping, which the lane engine
+// handles conservatively (whole trial as one pseudo-domain).
+type domainTag uint8
+
+const (
+	domainCustom domainTag = iota
+	domainRank
+	domainChannel
+	domainChannelPair
+)
+
 // domainScheme is the shared evaluation engine: a protection domain is a
 // set of chips, and the system fails the first instant the total weight of
 // concurrently faulty distinct chips in any domain exceeds the capacity.
 type domainScheme struct {
 	name     string
 	domainOf func(cfg *Config, r *FaultRecord) int
+	dom      domainTag // must agree with domainOf; see domainTag
 	capacity int
 	weight   weightFunc
 	kind     kindFunc
@@ -244,37 +258,37 @@ func nonECCWeight(cfg *Config, r *FaultRecord) int {
 // NewNonECC is the 8-chip DIMM of Figure 1: no DIMM-level redundancy at
 // all; any visible fault is silent data corruption.
 func NewNonECC() Scheme {
-	return &domainScheme{name: "NonECC", domainOf: rankDomain, capacity: 0, weight: nonECCWeight, kind: nonECCKind}
+	return &domainScheme{name: "NonECC", domainOf: rankDomain, dom: domainRank, capacity: 0, weight: nonECCWeight, kind: nonECCKind}
 }
 
 // NewSECDED is the conventional 9-chip ECC-DIMM (§II-D1).
 func NewSECDED() Scheme {
-	return &domainScheme{name: "ECC-DIMM (SECDED)", domainOf: rankDomain, capacity: 0, weight: secdedWeight, kind: secdedKind}
+	return &domainScheme{name: "ECC-DIMM (SECDED)", domainOf: rankDomain, dom: domainRank, capacity: 0, weight: secdedWeight, kind: secdedKind}
 }
 
 // NewXED is the paper's proposal on a 9-chip ECC-DIMM: one erasure per
 // rank via catch-words + RAID-3 parity (§V), diagnosis for silent
 // permanent faults (§VI), serial-mode for scaling faults (§VII).
 func NewXED() Scheme {
-	return &domainScheme{name: "XED", domainOf: rankDomain, capacity: 1, weight: xedWeight, kind: xedKind}
+	return &domainScheme{name: "XED", domainOf: rankDomain, dom: domainRank, capacity: 1, weight: xedWeight, kind: xedKind}
 }
 
 // NewChipkill is commercial SSC-DSD Chipkill over 18 lockstepped chips:
 // corrects one chip, detects two (detection without correction is still a
 // failed system).
 func NewChipkill() Scheme {
-	return &domainScheme{name: "Chipkill", domainOf: dimmGangDomain, capacity: 1, weight: visibleWeight, kind: chipkillKind}
+	return &domainScheme{name: "Chipkill", domainOf: dimmGangDomain, dom: domainChannel, capacity: 1, weight: visibleWeight, kind: chipkillKind}
 }
 
 // NewDoubleChipkill corrects any two chips among 36 (§IX).
 func NewDoubleChipkill() Scheme {
-	return &domainScheme{name: "Double-Chipkill", domainOf: dimmPairGangDomain, capacity: 2, weight: visibleWeight, kind: dblChipkillKind}
+	return &domainScheme{name: "Double-Chipkill", domainOf: dimmPairGangDomain, dom: domainChannelPair, capacity: 2, weight: visibleWeight, kind: dblChipkillKind}
 }
 
 // NewXEDChipkill is XED over Single-Chipkill hardware: catch-words turn
 // the two check symbols into two erasure corrections (§IX-A).
 func NewXEDChipkill() Scheme {
-	return &domainScheme{name: "XED+Chipkill", domainOf: dimmGangDomain, capacity: 2, weight: xedChipkillWeight, kind: xedChipkillKind}
+	return &domainScheme{name: "XED+Chipkill", domainOf: dimmGangDomain, dom: domainChannel, capacity: 2, weight: xedChipkillWeight, kind: xedChipkillKind}
 }
 
 // VisibleWeight is the baseline per-record chip weight shared by the
@@ -293,5 +307,5 @@ func VisibleWeight(cfg *Config, r *FaultRecord) int { return visibleWeight(cfg, 
 // the Evaluator's int8 fast-path envelope, or a deliberately sabotaged XED
 // whose refutation a statistical acceptance test must demonstrate.
 func NewRankErasureScheme(name string, capacity int, weight func(cfg *Config, r *FaultRecord) int) Scheme {
-	return &domainScheme{name: name, domainOf: rankDomain, capacity: capacity, weight: weight, kind: xedKind}
+	return &domainScheme{name: name, domainOf: rankDomain, dom: domainRank, capacity: capacity, weight: weight, kind: xedKind}
 }
