@@ -1,0 +1,81 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xedsim/internal/dist"
+)
+
+// serveArgs returns a valid serve-mode baseline.
+func serveArgs() cliArgs {
+	return cliArgs{
+		addr:         ":7600",
+		queueDepth:   dist.DefaultQueueDepth,
+		leaseTimeout: dist.DefaultLeaseTTL,
+		unitChunks:   dist.DefaultUnitChunks,
+		persistEvery: dist.DefaultPersistInterval,
+		systems:      1,
+	}
+}
+
+// submitArgs returns a valid submit-mode baseline.
+func submitArgs() cliArgs {
+	a := serveArgs()
+	a.submit = true
+	a.coordinator = "http://localhost:7600"
+	a.schemeList = "XED"
+	a.systems = 1000
+	return a
+}
+
+// TestValidateArgs pins the exit-2 flag-validation contract for both
+// modes.
+func TestValidateArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliArgs)
+		wantErr string // substring; empty = valid
+	}{
+		{"serve defaults", func(a *cliArgs) {}, ""},
+		{"submit baseline", func(a *cliArgs) { *a = submitArgs() }, ""},
+		{"empty addr", func(a *cliArgs) { a.addr = "" }, "-addr"},
+		{"zero queue depth", func(a *cliArgs) { a.queueDepth = 0 }, "-queue-depth"},
+		{"negative lease timeout", func(a *cliArgs) { a.leaseTimeout = -time.Second }, "-lease-timeout"},
+		{"zero unit chunks", func(a *cliArgs) { a.unitChunks = 0 }, "-unit-chunks"},
+		{"zero persist interval", func(a *cliArgs) { a.persistEvery = 0 }, "-persist-every"},
+		{"coordinator without submit", func(a *cliArgs) { a.coordinator = "http://x" }, "-coordinator only applies"},
+		{"out without submit", func(a *cliArgs) { a.outPath = "x.ckpt" }, "-out only applies"},
+		{"submit without coordinator", func(a *cliArgs) { *a = submitArgs(); a.coordinator = "" }, "-coordinator"},
+		{"submit without schemes", func(a *cliArgs) { *a = submitArgs(); a.schemeList = "" }, "-schemes"},
+		{"submit zero systems", func(a *cliArgs) { *a = submitArgs(); a.systems = 0 }, "-systems"},
+		{"submit negative chunk size", func(a *cliArgs) { *a = submitArgs(); a.chunkSize = -1 }, "-chunk-size"},
+		{"submit negative scrub", func(a *cliArgs) { *a = submitArgs(); a.scrub = -1 }, "-scrub-hours"},
+		{"submit bad engine", func(a *cliArgs) { *a = submitArgs(); a.engine = "warp" }, "engine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := serveArgs()
+			tc.mutate(&a)
+			err := validateArgs(a)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid args rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSplitTrim(t *testing.T) {
+	got := splitTrim(" XED , Chipkill ,,")
+	if want := []string{"XED", "Chipkill"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitTrim = %v, want %v", got, want)
+	}
+}

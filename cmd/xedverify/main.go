@@ -13,6 +13,15 @@
 // trials as its margin needs — with -max-trials bounding the worst case.
 // Exit status: 0 all claims confirmed, 1 any claim refuted, inconclusive
 // or errored, 2 flag errors.
+//
+// With -coordinator the gate's campaigns run through an xedserver
+// coordinator instead of local cores:
+//
+//	xedverify -coordinator http://host:7600
+//
+// Because the service's results are bit-identical to local runs, the same
+// table at the same seeds must reach the same verdicts — this is how a
+// deployed campaign service is certified.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"xedsim/internal/conformance"
+	"xedsim/internal/dist"
 	"xedsim/internal/faultsim"
 )
 
@@ -46,6 +56,7 @@ type cliArgs struct {
 	configs         int
 	trialsPerConfig int
 	engine          string
+	coordinator     string
 }
 
 // validateArgs returns the message usageErr should print, or nil.
@@ -67,6 +78,9 @@ func validateArgs(a cliArgs) error {
 	}
 	if _, err := faultsim.ParseEngine(a.engine); err != nil {
 		return err
+	}
+	if a.coordinator != "" && a.workers != 0 {
+		return fmt.Errorf("-workers does not apply with -coordinator (the service's workers decide parallelism)")
 	}
 	if a.claims != "" {
 		if _, err := selectedClaims(a.claims); err != nil {
@@ -98,6 +112,7 @@ func main() {
 	configs := flag.Int("configs", def.Configs, "random configs for the evaluator differential claim")
 	trialsPerConfig := flag.Int("trials-per-config", def.TrialsPerConfig, "trials per differential config")
 	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); verdicts must not depend on it")
+	coordinator := flag.String("coordinator", "", "run campaigns through this xedserver coordinator URL instead of local cores")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		usageErr("unexpected arguments: %v", flag.Args())
@@ -112,6 +127,7 @@ func main() {
 		configs:         *configs,
 		trialsPerConfig: *trialsPerConfig,
 		engine:          *engine,
+		coordinator:     *coordinator,
 	}); err != nil {
 		usageErr("%v", err)
 	}
@@ -136,6 +152,9 @@ func main() {
 		Configs:         *configs,
 		TrialsPerConfig: *trialsPerConfig,
 		Engine:          faultsim.Engine(*engine),
+	}
+	if *coordinator != "" {
+		opts.Runner = dist.NewClient(*coordinator, nil).Runner()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

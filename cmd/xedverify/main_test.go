@@ -26,6 +26,10 @@ func TestValidateArgs(t *testing.T) {
 		{"zero trials-per-config", func(a *cliArgs) { a.trialsPerConfig = 0 }, "-trials-per-config"},
 		{"unknown claim", func(a *cliArgs) { a.claims = "fig7/no-such-claim" }, "unknown claim"},
 		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
+		{"workers with coordinator", func(a *cliArgs) {
+			a.coordinator = "http://localhost:7600"
+			a.workers = 4
+		}, "-workers does not apply"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -47,6 +51,13 @@ func TestValidateArgs(t *testing.T) {
 	ok.claims = " table1/fit-inputs , fig7/xed-over-secded-10x,"
 	if err := validateArgs(ok); err != nil {
 		t.Fatalf("known claims rejected: %v", err)
+	}
+
+	// -coordinator alone is valid (service-backed campaigns).
+	svc := valid
+	svc.coordinator = "http://localhost:7600"
+	if err := validateArgs(svc); err != nil {
+		t.Fatalf("-coordinator rejected: %v", err)
 	}
 }
 

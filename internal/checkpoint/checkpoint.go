@@ -54,17 +54,14 @@ func Hash(v any) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Save atomically AND durably writes payload under the given
-// kind/version/configHash to path. The temp file lives in path's directory
-// so the rename cannot cross filesystems, and after the rename the
-// directory itself is fsynced: the rename is a directory-entry update, so
-// without the directory sync a crash right after a "successful" Save could
-// still roll the file back to the previous snapshot (or to nothing). Every
-// error path removes the temp file.
-func Save(path, kind string, version int, configHash string, payload any) error {
+// Marshal encodes a payload into the canonical envelope bytes Save writes.
+// The encoding is deterministic (encoding/json with fixed field order), so
+// two snapshots of identical state are byte-identical — the property the
+// distributed coordinator's bit-identity checks rest on.
+func Marshal(kind string, version int, configHash string, payload any) ([]byte, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
-		return fmt.Errorf("checkpoint: encoding payload: %w", err)
+		return nil, fmt.Errorf("checkpoint: encoding payload: %w", err)
 	}
 	env, err := json.Marshal(Envelope{
 		Magic:      Magic,
@@ -74,7 +71,45 @@ func Save(path, kind string, version int, configHash string, payload any) error 
 		Payload:    raw,
 	})
 	if err != nil {
-		return fmt.Errorf("checkpoint: encoding envelope: %w", err)
+		return nil, fmt.Errorf("checkpoint: encoding envelope: %w", err)
+	}
+	return env, nil
+}
+
+// CleanStale removes leftover temp files from interrupted Saves of path: a
+// crash (or kill) between CreateTemp and the rename leaves a
+// "<base>.tmp<rand>" sibling behind forever, and a long-lived service
+// saving on a timer would otherwise accumulate them without bound. Save
+// calls this before every write; it is also exported for explicit startup
+// sweeps. Removal failures on individual files are ignored (the next sweep
+// retries); only listing the directory can fail.
+func CleanStale(path string) error {
+	stale, err := filepath.Glob(path + ".tmp*")
+	if err != nil {
+		// Only bad patterns error, and ours is fixed; defensive.
+		return fmt.Errorf("checkpoint: sweeping stale temps: %w", err)
+	}
+	for _, s := range stale {
+		os.Remove(s) //nolint:errcheck // best-effort; retried next Save
+	}
+	return nil
+}
+
+// Save atomically AND durably writes payload under the given
+// kind/version/configHash to path. The temp file lives in path's directory
+// so the rename cannot cross filesystems, and after the rename the
+// directory itself is fsynced: the rename is a directory-entry update, so
+// without the directory sync a crash right after a "successful" Save could
+// still roll the file back to the previous snapshot (or to nothing). Every
+// error path removes the temp file, and temp files orphaned by a crash
+// mid-save are swept on the next Save (see CleanStale).
+func Save(path, kind string, version int, configHash string, payload any) error {
+	env, err := Marshal(kind, version, configHash, payload)
+	if err != nil {
+		return err
+	}
+	if err := CleanStale(path); err != nil {
+		return err
 	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")

@@ -161,6 +161,126 @@ func TestLoadRejectsMismatches(t *testing.T) {
 	}
 }
 
+// TestSaveSweepsStaleTemps pins the crash-orphan sweep: temp files left by
+// a save that died between CreateTemp and rename are removed by the next
+// Save to the same path (and by an explicit CleanStale), while unrelated
+// files survive.
+func TestSaveSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	for _, stale := range []string{"snap.json.tmp123", "snap.json.tmp999x"} {
+		if err := os.WriteFile(filepath.Join(dir, stale), []byte("orphan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bystander := filepath.Join(dir, "other.json.tmp5")
+	if err := os.WriteFile(bystander, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "k", 1, "h", &payload{Label: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	noTempFilesFor(t, dir, "snap.json")
+	if _, err := os.Stat(bystander); err != nil {
+		t.Fatalf("sweep removed another checkpoint's temp file: %v", err)
+	}
+	var out payload
+	if err := Load(path, "k", 1, "h", &out); err != nil || out.Label != "fresh" {
+		t.Fatalf("Load after sweep: %+v, %v", out, err)
+	}
+}
+
+// noTempFilesFor fails if dir holds any leftover temp for the given base.
+func noTempFilesFor(t *testing.T, dir, base string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), base+".tmp") {
+			t.Fatalf("stale temp file %s", e.Name())
+		}
+	}
+}
+
+func TestCleanStaleExplicit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.ckpt")
+	if err := os.WriteFile(path+".tmp42", []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CleanStale(path); err != nil {
+		t.Fatal(err)
+	}
+	noTempFilesFor(t, dir, "ledger.ckpt")
+	// Idempotent on a clean directory.
+	if err := CleanStale(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadRejectsCorruption pins the corruption paths a crashing writer (or
+// a torn copy) can produce: empty, truncated and trailing-garbage envelope
+// files must surface ErrNotCheckpoint — never a panic, never a zero-value
+// payload mistaken for real state.
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := Save(good, "k", 1, "h", &payload{Label: "x", Counts: []uint64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated half", env[:len(env)/2]},
+		{"truncated one byte", env[:len(env)-1]},
+		{"trailing garbage", append(append([]byte(nil), env...), "garbage"...)},
+		{"binary junk", []byte{0x00, 0xff, 0x13, 0x37}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, "corrupt")
+			if err := os.WriteFile(p, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out payload
+			if err := Load(p, "k", 1, "h", &out); !errors.Is(err, ErrNotCheckpoint) {
+				t.Fatalf("err = %v, want ErrNotCheckpoint", err)
+			}
+		})
+	}
+}
+
+// TestMarshalMatchesSave pins that Marshal produces exactly the bytes Save
+// writes — the distributed coordinator serves Marshal output over HTTP and
+// clients compare it byte-for-byte against locally saved snapshots.
+func TestMarshalMatchesSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	in := payload{Label: "wire", Counts: []uint64{7, 8}}
+	if err := Save(path, "kind", 3, "hash", &in); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := Marshal("kind", 3, "hash", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != string(wire) {
+		t.Fatalf("Marshal bytes differ from Save bytes:\n%s\nvs\n%s", wire, disk)
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	dir := t.TempDir()
 	var out payload

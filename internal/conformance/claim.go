@@ -70,6 +70,14 @@ type Verdict struct {
 // schemes to demonstrate that the claim table actually refutes them.
 type SchemeFactory func(names ...string) ([]faultsim.Scheme, error)
 
+// CampaignRunner evaluates one Monte-Carlo campaign on behalf of a claim
+// check. The default is faultsim.RunCampaign (local cores); xedverify
+// -coordinator substitutes a dist-client runner, so the same conformance
+// gate that certifies a local build certifies a deployed campaign service
+// — the claims cannot tell the difference because the service's results
+// are bit-identical.
+type CampaignRunner func(ctx context.Context, cfg faultsim.Config, schemes []faultsim.Scheme, opts faultsim.CampaignOptions) (*faultsim.Report, error)
+
 // Options parameterises a conformance run. The zero value is unusable;
 // start from DefaultOptions.
 type Options struct {
@@ -94,6 +102,8 @@ type Options struct {
 	TrialsPerConfig int
 	// Schemes resolves scheme names; nil selects faultsim.SchemesByName.
 	Schemes SchemeFactory
+	// Runner evaluates campaigns; nil selects faultsim.RunCampaign.
+	Runner CampaignRunner
 	// Engine selects the campaign evaluation engine every claim's
 	// RunCampaign uses ("" = indexed). Verdicts must not depend on it —
 	// running the gate under faultsim.EngineLanes is exactly how the
@@ -143,6 +153,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Schemes == nil {
 		o.Schemes = faultsim.SchemesByName
+	}
+	if o.Runner == nil {
+		o.Runner = faultsim.RunCampaign
 	}
 	if eng, err := faultsim.ParseEngine(string(o.Engine)); err == nil {
 		o.Engine = eng
@@ -230,7 +243,7 @@ func ratioClaim(name, ref, doc string, cfg func() faultsim.Config, better, worse
 			var trials, kA, kB uint64
 			c := cfg()
 			for batch := 0; int(trials) < o.MaxTrials && sprt.Decision() == Undecided; batch++ {
-				rep, err := faultsim.RunCampaign(ctx, c, schemes, faultsim.CampaignOptions{
+				rep, err := o.Runner(ctx, c, schemes, faultsim.CampaignOptions{
 					Trials:  o.Batch,
 					Seed:    batchSeed(o.Seed, name, batch),
 					Workers: o.Workers,
@@ -292,7 +305,7 @@ func bandClaim(name, ref, doc string, cfg func() faultsim.Config, a, b string, b
 			if trials < o.Batch {
 				trials = o.Batch
 			}
-			rep, err := faultsim.RunCampaign(ctx, cfg(), schemes, faultsim.CampaignOptions{
+			rep, err := o.Runner(ctx, cfg(), schemes, faultsim.CampaignOptions{
 				Trials:  trials,
 				Seed:    batchSeed(o.Seed, name, 0),
 				Workers: o.Workers,

@@ -196,3 +196,44 @@ func TestOptionsNormalize(t *testing.T) {
 		t.Fatalf("normalize clobbered explicit values: %+v", o)
 	}
 }
+
+// countingRunner fabricates campaign reports without simulating: the
+// "better" scheme (result 0) never fails, the "worse" one fails 10% of
+// trials, so a ratio SPRT accepts immediately. It exists to pin the
+// Options.Runner seam — the hook xedverify -coordinator uses to route
+// claims through a campaign service.
+func countingRunner(calls *int) CampaignRunner {
+	return func(_ context.Context, _ faultsim.Config, schemes []faultsim.Scheme, o faultsim.CampaignOptions) (*faultsim.Report, error) {
+		*calls++
+		rep := &faultsim.Report{Trials: uint64(o.Trials), Requested: uint64(o.Trials), Years: 7}
+		for i, s := range schemes {
+			r := faultsim.Result{SchemeName: s.Name(), Trials: uint64(o.Trials), FailuresByYear: make([]uint64, 7)}
+			if i > 0 {
+				r.Failures = uint64(o.Trials / 10)
+				r.DUEs = r.Failures
+			}
+			rep.Results = append(rep.Results, r)
+		}
+		return rep, nil
+	}
+}
+
+// TestOptionsRunnerSeam: a substituted CampaignRunner carries the whole
+// statistical claim — no local simulation happens, and the verdict follows
+// the fabricated evidence.
+func TestOptionsRunnerSeam(t *testing.T) {
+	calls := 0
+	o := DefaultOptions()
+	o.Runner = countingRunner(&calls)
+	claims, err := SelectClaims(PaperClaims(), []string{"fig7/xed-over-secded-10x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := Run(context.Background(), claims, o, nil)
+	if calls == 0 {
+		t.Fatal("custom Runner was never invoked")
+	}
+	if verdicts[0].Status != Confirmed {
+		t.Fatalf("fabricated 0-vs-10%% evidence not confirmed: %v (%s)", verdicts[0].Status, verdicts[0].Detail)
+	}
+}

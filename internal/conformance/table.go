@@ -46,7 +46,7 @@ func zeroSDCClaim(name, ref, doc string, cfg func() faultsim.Config, scheme stri
 			if trials < o.Batch {
 				trials = o.Batch
 			}
-			rep, err := faultsim.RunCampaign(ctx, cfg(), schemes, faultsim.CampaignOptions{
+			rep, err := o.Runner(ctx, cfg(), schemes, faultsim.CampaignOptions{
 				Trials:  trials,
 				Seed:    batchSeed(o.Seed, name, 0),
 				Workers: o.Workers,

@@ -1,0 +1,172 @@
+// Package chaos is a deterministic fault-injection layer for the dist
+// protocol: an http.RoundTripper that drops, delays and duplicates
+// requests on a fixed counter schedule. The dist test suite wires it under
+// workers and clients to prove that no injected failure — lost responses
+// forcing retries, duplicated deliveries, artificial stragglers — changes
+// the final bytes of a campaign result.
+//
+// Faults are scheduled by request count, not randomness, so a failing run
+// replays exactly. A dropped request is the nastiest variant deliberately:
+// the request is SENT and the response discarded, so the server may have
+// acted (a merge happened) while the client sees a failure and retries —
+// the classic at-most-once hazard the coordinator's idempotent merge must
+// absorb.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDropped is the transport error surfaced for a chaos-dropped exchange.
+var ErrDropped = errors.New("chaos: response dropped")
+
+// Options schedules faults. Each Every-counter applies to its own count of
+// matching requests: e.g. DropEvery=7 drops the 7th, 14th, ... matching
+// request's response. Zero disables that fault.
+type Options struct {
+	// DropEvery sends the request but discards the response, returning
+	// ErrDropped (a lost response, forcing a client retry of a
+	// possibly-performed action).
+	DropEvery int
+	// DuplicateEvery performs the exchange twice back-to-back, returning
+	// the second response (a duplicated delivery).
+	DuplicateEvery int
+	// DelayEvery stalls the request by Delay before sending (an
+	// artificial straggler).
+	DelayEvery int
+	Delay      time.Duration
+	// PathPrefix restricts faults to matching request paths (e.g.
+	// "/v1/"); empty matches everything.
+	PathPrefix string
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Requests   int64
+	Drops      int64
+	Duplicates int64
+	Delays     int64
+}
+
+// Transport wraps a base RoundTripper with scheduled faults. Safe for
+// concurrent use.
+type Transport struct {
+	base http.RoundTripper
+	opts Options
+
+	requests atomic.Int64
+	drops    atomic.Int64
+	dups     atomic.Int64
+	delays   atomic.Int64
+
+	mu      sync.Mutex
+	matched int64 // count of fault-eligible requests, drives the schedule
+}
+
+// New wraps base (nil selects http.DefaultTransport) with opts.
+func New(base http.RoundTripper, opts Options) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, opts: opts}
+}
+
+// Client returns an http.Client using the transport.
+func (t *Transport) Client() *http.Client { return &http.Client{Transport: t} }
+
+// Stats returns the fault counts so far.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:   t.requests.Load(),
+		Drops:      t.drops.Load(),
+		Duplicates: t.dups.Load(),
+		Delays:     t.delays.Load(),
+	}
+}
+
+// schedule claims the next matching-request ordinal and decides its fate.
+func (t *Transport) schedule() (drop, dup, delay bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.matched++
+	n := t.matched
+	every := func(k int) bool { return k > 0 && n%int64(k) == 0 }
+	return every(t.opts.DropEvery), every(t.opts.DuplicateEvery), every(t.opts.DelayEvery)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	if t.opts.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, t.opts.PathPrefix) {
+		return t.base.RoundTrip(req)
+	}
+	drop, dup, delay := t.schedule()
+
+	if delay && t.opts.Delay > 0 {
+		t.delays.Add(1)
+		timer := time.NewTimer(t.opts.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+
+	if dup {
+		// Replay needs a rewindable body; requests built by
+		// http.NewRequest from a bytes.Reader always carry GetBody.
+		if req.Body == nil || req.GetBody != nil {
+			t.dups.Add(1)
+			first, err := t.send(req)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: duplicate first send: %w", err)
+			}
+			drainClose(first)
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, err
+				}
+				req = req.Clone(req.Context())
+				req.Body = body
+			}
+		}
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		t.drops.Add(1)
+		drainClose(resp)
+		return nil, ErrDropped
+	}
+	return resp, nil
+}
+
+// send performs one base exchange on a cloned request.
+func (t *Transport) send(req *http.Request) (*http.Response, error) {
+	clone := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		clone.Body = body
+	}
+	return t.base.RoundTrip(clone)
+}
+
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()              //nolint:errcheck
+}

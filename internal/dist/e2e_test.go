@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"xedsim/internal/dist/chaos"
+	"xedsim/internal/faultsim"
+)
+
+// fastWorker returns worker options tuned for test latency.
+func fastWorker(id, base string) WorkerOptions {
+	return WorkerOptions{
+		ID:                id,
+		Coordinator:       base,
+		HeartbeatInterval: 100 * time.Millisecond,
+		BackoffMin:        2 * time.Millisecond,
+		BackoffMax:        50 * time.Millisecond,
+	}
+}
+
+// TestWorkersEndToEnd runs the whole service in-process over real HTTP:
+// two parallel workers drain a job submitted through the Client, and the
+// result is bit-identical to a local RunCampaign.
+func TestWorkersEndToEnd(t *testing.T) {
+	spec := testSpec()
+	localRep, localBytes := localRun(t, spec)
+
+	c := newTestCoordinator(t, CoordinatorOptions{UnitChunks: 4})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range []string{"w1", "w2"} {
+		w := NewWorker(fastWorker(id, srv.URL))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck
+		}()
+	}
+
+	cl := NewClient(srv.URL, nil)
+	cl.PollInterval = 10 * time.Millisecond
+	rep, err := cl.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, localRep) {
+		t.Fatal("service Report differs from local RunCampaign")
+	}
+	st, err := cl.Status(ctx, mustHash(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.CheckpointBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(localBytes) {
+		t.Fatal("service checkpoint bytes differ from local checkpoint file")
+	}
+	cancel()
+	wg.Wait()
+}
+
+func mustHash(t *testing.T, spec *JobSpec) string {
+	t.Helper()
+	schemes, err := spec.ResolveSchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := faultsim.CampaignHash(spec.Config, schemes, spec.CampaignOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestChaosBitIdentical is the headline robustness proof. The schedule is
+// deliberately deterministic:
+//
+//  1. Worker B (no faults) completes exactly 3 units, then crash-stops
+//     (kill-worker-after-N-units).
+//  2. The coordinator persists and is torn down mid-job; a second
+//     incarnation recovers from the same state dir.
+//  3. Worker A finishes the job through a chaos transport that drops
+//     responses (forcing retries of possibly-merged completions),
+//     duplicates deliveries, and injects delays — and the submitting
+//     client runs through a duplicating transport of its own.
+//
+// After all that, the Report and the canonical checkpoint bytes must equal
+// a single-process RunCampaign's, byte for byte.
+func TestChaosBitIdentical(t *testing.T) {
+	spec := testSpec()
+	localRep, localBytes := localRun(t, spec)
+	dir := t.TempDir()
+
+	c1 := newTestCoordinator(t, CoordinatorOptions{StateDir: dir, UnitChunks: 2, LeaseTTL: time.Second})
+	srv1 := httptest.NewServer(c1.Handler())
+	st, err := c1.Submit(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Phase 1: worker B merges 3 units and dies.
+	optsB := fastWorker("worker-b", srv1.URL)
+	optsB.MaxUnits = 3
+	wb := NewWorker(optsB)
+	if err := wb.Run(ctx); err != nil {
+		t.Fatalf("worker B: %v", err)
+	}
+	if wb.UnitsDone() != 3 {
+		t.Fatalf("worker B settled %d units, want 3", wb.UnitsDone())
+	}
+
+	// Phase 2: torn coordinator restart. Persist, kill, recover.
+	c1.SaveState()
+	srv1.Close()
+	c2 := newTestCoordinator(t, CoordinatorOptions{StateDir: dir, UnitChunks: 2, LeaseTTL: time.Second})
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	st2, err := c2.Status(st.ID)
+	if err != nil {
+		t.Fatalf("restarted coordinator lost the job: %v", err)
+	}
+	if st2.DoneChunks != 6 || st2.State.Terminal() {
+		t.Fatalf("restored status = %+v, want 6 done chunks, in flight", st2)
+	}
+
+	// Phase 3: worker A finishes the job through injected faults.
+	faultyA := chaos.New(nil, chaos.Options{
+		DropEvery:      5,
+		DuplicateEvery: 3,
+		DelayEvery:     4,
+		Delay:          5 * time.Millisecond,
+		PathPrefix:     "/v1/",
+	})
+	optsA := fastWorker("worker-a", srv2.URL)
+	optsA.Parallel = 2
+	optsA.Client = faultyA.Client()
+	wa := NewWorker(optsA)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wa.Run(ctx) //nolint:errcheck
+	}()
+
+	faultyC := chaos.New(nil, chaos.Options{DuplicateEvery: 2, PathPrefix: "/v1/"})
+	cl := NewClient(srv2.URL, faultyC.Client())
+	cl.PollInterval = 10 * time.Millisecond
+	rep, err := cl.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	wg.Wait()
+
+	if !reflect.DeepEqual(rep, localRep) {
+		t.Fatal("chaos-run Report differs from local RunCampaign")
+	}
+	b, err := NewClient(srv2.URL, nil).CheckpointBytes(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(localBytes) {
+		t.Fatal("chaos-run checkpoint bytes differ from local checkpoint file")
+	}
+
+	// The faults must actually have fired for this to prove anything.
+	stats := faultyA.Stats()
+	if stats.Drops == 0 || stats.Duplicates == 0 || stats.Delays == 0 {
+		t.Fatalf("chaos schedule did not fire: %+v", stats)
+	}
+	if faultyC.Stats().Duplicates == 0 {
+		t.Fatalf("client chaos schedule did not fire: %+v", faultyC.Stats())
+	}
+}
+
+// TestClientSurvivesAmnesiacRestart pins the 404-resubmit path: when a
+// coordinator is replaced by one with NO persisted state, a waiting client
+// notices the unknown job and resubmits the spec — same hash, same job,
+// same bytes — rather than failing or forking.
+func TestClientSurvivesAmnesiacRestart(t *testing.T) {
+	spec := testSpec()
+	localRep, _ := localRun(t, spec)
+
+	c1 := newTestCoordinator(t, CoordinatorOptions{UnitChunks: 4})
+	srv1 := httptest.NewServer(c1.Handler())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cl := NewClient(srv1.URL, nil)
+	cl.PollInterval = 10 * time.Millisecond
+	cl.BackoffMin = 2 * time.Millisecond
+	if _, err := cl.Submit(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the coordinator before any work happens; bring up a fresh one
+	// with no memory of the job.
+	srv1.Close()
+	c2 := newTestCoordinator(t, CoordinatorOptions{UnitChunks: 4})
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	cl.SetBase(srv2.URL)
+
+	w := NewWorker(fastWorker("w", srv2.URL))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(ctx) //nolint:errcheck
+	}()
+
+	rep, err := cl.RunCampaign(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, localRep) {
+		t.Fatal("post-amnesia Report differs from local RunCampaign")
+	}
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,430 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xedsim/internal/faultsim"
+	"xedsim/internal/obs"
+)
+
+// Worker defaults.
+const (
+	DefaultHeartbeatInterval = 2 * time.Second
+	defaultBackoffMin        = 50 * time.Millisecond
+	defaultBackoffMax        = 5 * time.Second
+)
+
+// backoff is jittered exponential backoff: each step doubles the base
+// delay up to max, then randomises within [delay/2, delay] so a fleet of
+// workers retrying against a recovering coordinator doesn't stampede in
+// lockstep.
+type backoff struct {
+	cur, min, max time.Duration
+}
+
+func newBackoff(min, max time.Duration) *backoff {
+	if min <= 0 {
+		min = defaultBackoffMin
+	}
+	if max < min {
+		max = defaultBackoffMax
+	}
+	return &backoff{min: min, max: max}
+}
+
+func (b *backoff) next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.min
+	} else if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	half := b.cur / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+func (b *backoff) reset() { b.cur = 0 }
+
+// sleepCtx sleeps for d or until ctx is done, reporting which.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// WorkerOptions parameterises NewWorker.
+type WorkerOptions struct {
+	// ID names the worker in lease and heartbeat traffic (logs/metrics on
+	// the coordinator side). Empty selects "worker".
+	ID string
+	// Coordinator is the base URL of the coordinator, e.g.
+	// "http://127.0.0.1:7600". Changeable at runtime with SetBase (the
+	// torn-restart tests move workers to a resurrected coordinator).
+	Coordinator string
+	// Parallel is the number of concurrent lease loops; 0 selects 1.
+	Parallel int
+	// HeartbeatInterval paces lease-extension heartbeats; it must be
+	// comfortably below the coordinator's lease TTL. 0 selects
+	// DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// MaxUnits, when positive, stops the worker after that many completed
+	// units — the chaos harness's kill-after-N-chunks lever.
+	MaxUnits int
+	// Client overrides the HTTP client (chaos tests inject a faulty
+	// transport here). Nil selects a plain client.
+	Client *http.Client
+	// Metrics, when non-nil, publishes worker counters under "dist.worker_*".
+	Metrics *obs.Registry
+	// BackoffMin/BackoffMax bound the retry backoff; zero values select
+	// 50ms / 5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+}
+
+// Worker leases work units from a coordinator, evaluates them with
+// faultsim.ChunkRunner, and reports results back, retrying with jittered
+// exponential backoff across coordinator outages. It holds no durable
+// state: everything it computes can be recomputed, so crash-stopping a
+// worker at any instant is always safe.
+type Worker struct {
+	opts WorkerOptions
+	base atomic.Value // string
+	hc   *http.Client
+
+	unitsDone  atomic.Int64
+	leaseFail  *obs.Counter
+	unitsC     *obs.Counter
+	retriesC   *obs.Counter
+	lostLeases *obs.Counter
+
+	mu     sync.Mutex
+	active map[LeaseRef]struct{}
+}
+
+// NewWorker builds a worker; Run starts it.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.ID == "" {
+		opts.ID = "worker"
+	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = 1
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	w := &Worker{
+		opts:       opts,
+		hc:         opts.Client,
+		active:     make(map[LeaseRef]struct{}),
+		leaseFail:  opts.Metrics.Counter("dist.worker_lease_failures"),
+		unitsC:     opts.Metrics.Counter("dist.worker_units_done"),
+		retriesC:   opts.Metrics.Counter("dist.worker_retries"),
+		lostLeases: opts.Metrics.Counter("dist.worker_leases_lost"),
+	}
+	if w.hc == nil {
+		w.hc = &http.Client{}
+	}
+	w.base.Store(opts.Coordinator)
+	return w
+}
+
+// SetBase repoints the worker at a (re)started coordinator address.
+func (w *Worker) SetBase(url string) { w.base.Store(url) }
+
+// Base returns the current coordinator base URL.
+func (w *Worker) Base() string { return w.base.Load().(string) }
+
+// UnitsDone reports how many units this worker has settled (merged or
+// acknowledged duplicate).
+func (w *Worker) UnitsDone() int { return int(w.unitsDone.Load()) }
+
+// Run executes lease loops plus a heartbeat loop until ctx is cancelled
+// or MaxUnits is reached. It returns nil on a clean stop.
+func (w *Worker) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.heartbeatLoop(ctx)
+	}()
+	for i := 0; i < w.opts.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.leaseLoop(ctx, cancel)
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); errors.Is(err, context.Canceled) {
+		return nil
+	} else if err != nil {
+		return err
+	}
+	return nil
+}
+
+// leaseLoop is one lease → compute → complete cycle runner. Each loop owns
+// its runner cache: a faultsim.ChunkRunner carries per-chunk scratch state
+// and is not safe for concurrent use, so parallel loops never share one.
+func (w *Worker) leaseLoop(ctx context.Context, stop context.CancelFunc) {
+	bo := newBackoff(w.opts.BackoffMin, w.opts.BackoffMax)
+	runners := make(map[string]*faultsim.ChunkRunner)
+	for ctx.Err() == nil {
+		if w.opts.MaxUnits > 0 && int(w.unitsDone.Load()) >= w.opts.MaxUnits {
+			stop()
+			return
+		}
+		lease, retryAfter, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.leaseFail.Inc()
+			w.retriesC.Inc()
+			if sleepCtx(ctx, maxDuration(retryAfter, bo.next())) != nil {
+				return
+			}
+			continue
+		}
+		if lease == nil {
+			// No work available right now; idle-poll with backoff.
+			if sleepCtx(ctx, bo.next()) != nil {
+				return
+			}
+			continue
+		}
+		bo.reset()
+		if err := w.runUnit(ctx, runners, lease); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		if n := w.unitsDone.Add(1); w.opts.MaxUnits > 0 && int(n) >= w.opts.MaxUnits {
+			stop()
+			return
+		}
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runner returns the loop-local ChunkRunner for a job, building it from
+// the lease's spec on first sight.
+func runner(cache map[string]*faultsim.ChunkRunner, lease *Lease) (*faultsim.ChunkRunner, error) {
+	if r, ok := cache[lease.JobID]; ok {
+		return r, nil
+	}
+	schemes, err := lease.Spec.ResolveSchemes()
+	if err != nil {
+		return nil, err
+	}
+	r, err := faultsim.NewChunkRunner(lease.Spec.Config, schemes, lease.Spec.CampaignOptions())
+	if err != nil {
+		return nil, err
+	}
+	cache[lease.JobID] = r
+	return r, nil
+}
+
+// runUnit computes a leased span and reports it, holding the lease in the
+// heartbeat set for the duration.
+func (w *Worker) runUnit(ctx context.Context, runners map[string]*faultsim.ChunkRunner, lease *Lease) error {
+	ref := LeaseRef{JobID: lease.JobID, Unit: lease.Unit, Token: lease.Token}
+	w.mu.Lock()
+	w.active[ref] = struct{}{}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.active, ref)
+		w.mu.Unlock()
+	}()
+
+	r, err := runner(runners, lease)
+	if err != nil {
+		// A spec this binary cannot evaluate; drop the lease and let it
+		// expire for someone else.
+		return err
+	}
+	res, err := r.RunSpan(ctx, lease.Lo, lease.Hi)
+	if err != nil {
+		return err
+	}
+	w.unitsC.Inc()
+	return w.complete(ctx, &CompleteRequest{
+		WorkerID: w.opts.ID,
+		JobID:    lease.JobID,
+		Unit:     lease.Unit,
+		Token:    lease.Token,
+		Result:   *res,
+	})
+}
+
+// lease asks the coordinator for a unit. A 204 returns (nil, 0, nil); a
+// 429/503 returns the server's Retry-After as a floor for the caller's
+// backoff.
+func (w *Worker) lease(ctx context.Context) (*Lease, time.Duration, error) {
+	var lease Lease
+	code, retryAfter, err := w.postJSON(ctx, "/v1/lease", &LeaseRequest{WorkerID: w.opts.ID}, &lease)
+	if err != nil {
+		return nil, retryAfter, err
+	}
+	if code == http.StatusNoContent {
+		return nil, 0, nil
+	}
+	return &lease, 0, nil
+}
+
+// complete reports a unit, retrying transient failures until the unit is
+// settled. A 404 (the coordinator restarted and no longer knows the job)
+// settles the unit too: the submitting client will resubmit the spec and
+// re-derive the same job.
+func (w *Worker) complete(ctx context.Context, req *CompleteRequest) error {
+	bo := newBackoff(w.opts.BackoffMin, w.opts.BackoffMax)
+	for {
+		var resp CompleteResponse
+		code, retryAfter, err := w.postJSON(ctx, "/v1/complete", req, &resp)
+		switch {
+		case err == nil:
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case code == http.StatusNotFound || code == http.StatusBadRequest:
+			return fmt.Errorf("dist: unit %d of job %.12s rejected: %w", req.Unit, req.JobID, err)
+		}
+		w.retriesC.Inc()
+		if sleepCtx(ctx, maxDuration(retryAfter, bo.next())) != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// heartbeatLoop extends the active leases until ctx is done.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	tick := time.NewTicker(w.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		refs := make([]LeaseRef, 0, len(w.active))
+		for ref := range w.active {
+			refs = append(refs, ref)
+		}
+		w.mu.Unlock()
+		if len(refs) == 0 {
+			continue
+		}
+		var resp HeartbeatResponse
+		_, _, err := w.postJSON(ctx, "/v1/heartbeat", &HeartbeatRequest{WorkerID: w.opts.ID, Leases: refs}, &resp)
+		if err == nil && resp.Lost > 0 {
+			w.lostLeases.Add(uint64(resp.Lost))
+		}
+	}
+}
+
+// postJSON POSTs a JSON body and decodes a JSON response. Non-2xx statuses
+// return an error carrying the server's error body; the returned code and
+// Retry-After let callers classify it. Connection errors return code 0.
+func (w *Worker) postJSON(ctx context.Context, path string, body, into any) (code int, retryAfter time.Duration, err error) {
+	return postJSON(ctx, w.hc, w.Base(), path, body, into)
+}
+
+// postJSON is the shared wire helper for Worker and Client.
+func postJSON(ctx context.Context, hc *http.Client, base, path string, body, into any) (int, time.Duration, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(buf))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return resp.StatusCode, retryAfter, fmt.Errorf("dist: %s: %s", path, readError(resp.Body, resp.StatusCode))
+	}
+	if resp.StatusCode == http.StatusNoContent || into == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return resp.StatusCode, retryAfter, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return resp.StatusCode, retryAfter, fmt.Errorf("dist: decoding %s response: %w", path, err)
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// getJSON GETs a JSON document.
+func getJSON(ctx context.Context, hc *http.Client, base, path string, into any) (int, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, retryAfter, fmt.Errorf("dist: %s: %s", path, readError(resp.Body, resp.StatusCode))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return resp.StatusCode, retryAfter, fmt.Errorf("dist: decoding %s response: %w", path, err)
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// readError extracts the JSON error body, falling back to the status code.
+func readError(r io.Reader, code int) string {
+	var eb errorBody
+	if err := json.NewDecoder(io.LimitReader(r, 4096)).Decode(&eb); err == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return "HTTP " + strconv.Itoa(code)
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if s, err := strconv.Atoi(h); err == nil && s >= 0 {
+		return time.Duration(s) * time.Second
+	}
+	return 0
+}

@@ -199,13 +199,26 @@ func (e *TrialError) Replay(cfg Config, schemes []Scheme) (faults []FaultRecord,
 	return faults, outs, panicked, nil
 }
 
-// schemeAccum is one scheme's integer tallies, the unit of chunk merging
-// and of checkpoint payloads.
-type schemeAccum struct {
+// SchemeTally is one scheme's integer tallies over some set of trials: the
+// unit of chunk merging, of checkpoint payloads, and of the wire envelopes
+// distributed workers return (see ChunkResult). Tallies compose by field-
+// wise addition, which is what makes any partition of a campaign's chunks
+// across processes merge back to bit-identical Results.
+type SchemeTally struct {
 	Failures uint64   `json:"failures"`
 	DUEs     uint64   `json:"dues"`
 	SDCs     uint64   `json:"sdcs"`
 	ByYear   []uint64 `json:"by_year"`
+}
+
+// add folds t2 into t (field-wise integer addition).
+func (t *SchemeTally) add(t2 *SchemeTally) {
+	t.Failures += t2.Failures
+	t.DUEs += t2.DUEs
+	t.SDCs += t2.SDCs
+	for y := range t.ByYear {
+		t.ByYear[y] += t2.ByYear[y]
+	}
 }
 
 // campaignSnapshot is the checkpoint payload: completed-chunk bitmap plus
@@ -220,7 +233,7 @@ type campaignSnapshot struct {
 	DoneChunks []uint64      `json:"done_chunks"` // bitmap, chunk c at word c/64 bit c%64
 	DoneTrials uint64        `json:"done_trials"` // tallied trials (excludes errored)
 	Complete   bool          `json:"complete"`
-	Results    []schemeAccum `json:"results"`
+	Results    []SchemeTally `json:"results"`
 	Errors     []TrialError  `json:"errors,omitempty"`
 }
 
@@ -249,7 +262,7 @@ type engine struct {
 	doneBits   []uint64
 	doneChunks int
 	doneTrials uint64
-	accum      []schemeAccum
+	accum      []SchemeTally
 	trialErrs  []TrialError
 	failed     error // first fatal engine error (budget, checkpoint I/O)
 	lastSave   time.Time
@@ -298,18 +311,12 @@ func newCampaignMetrics(r *obs.Registry, schemes []Scheme) campaignMetrics {
 	return m
 }
 
-// RunCampaign executes a resilient Monte-Carlo campaign. It honours ctx
-// cancellation by draining workers at chunk boundaries and returning the
-// partial Report alongside ctx's error; with CheckpointPath set it also
-// snapshots progress periodically and on cancellation, and Resume picks a
-// campaign back up from such a snapshot. Completed runs return a Report
-// covering exactly Trials trials (minus any panicking trials, which are
-// voided and listed in Report.TrialErrors) and a nil error.
-//
-// Results are bit-identical for a fixed (cfg, Trials, Seed, ChunkSize)
-// whatever the worker count and whether or not the run was interrupted and
-// resumed.
-func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts CampaignOptions) (*Report, error) {
+// newEngine validates (cfg, schemes, opts), normalizes the options
+// (default chunk size, checkpoint interval, error budget, engine) and
+// builds the campaign accumulator state shared by RunCampaign, ChunkRunner
+// and Merger. needHash forces the config-hash computation even when no
+// CheckpointPath is set (distributed merging always needs it).
+func newEngine(cfg Config, schemes []Scheme, opts CampaignOptions, needHash bool) (*engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -331,10 +338,6 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 	case opts.ErrorBudget < 0:
 		opts.ErrorBudget = 0
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	var err error
 	if opts.Engine, err = ParseEngine(string(opts.Engine)); err != nil {
 		return nil, err
@@ -347,15 +350,11 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 		years:   int(math.Ceil(cfg.LifetimeHours / HoursPerYear)),
 		nChunks: (opts.Trials + opts.ChunkSize - 1) / opts.ChunkSize,
 	}
-	if opts.CheckpointPath != "" {
-		// The config hash only guards snapshot compatibility; skip the
-		// JSON+SHA-256 work for plain in-memory campaigns (Run calls this
-		// per benchmark iteration).
+	if needHash {
 		names := make([]string, len(schemes))
 		for i, s := range schemes {
 			names[i] = s.Name()
 		}
-		var err error
 		e.hash, err = checkpoint.Hash(campaignHashInput{
 			Config: cfg, Schemes: names, Trials: opts.Trials, Seed: opts.Seed, ChunkSize: opts.ChunkSize,
 		})
@@ -364,9 +363,36 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 		}
 	}
 	e.doneBits = make([]uint64, (e.nChunks+63)/64)
-	e.accum = make([]schemeAccum, len(schemes))
+	e.accum = make([]SchemeTally, len(schemes))
 	for i := range e.accum {
 		e.accum[i].ByYear = make([]uint64, e.years)
+	}
+	return e, nil
+}
+
+// RunCampaign executes a resilient Monte-Carlo campaign. It honours ctx
+// cancellation by draining workers at chunk boundaries and returning the
+// partial Report alongside ctx's error; with CheckpointPath set it also
+// snapshots progress periodically and on cancellation, and Resume picks a
+// campaign back up from such a snapshot. Completed runs return a Report
+// covering exactly Trials trials (minus any panicking trials, which are
+// voided and listed in Report.TrialErrors) and a nil error.
+//
+// Results are bit-identical for a fixed (cfg, Trials, Seed, ChunkSize)
+// whatever the worker count and whether or not the run was interrupted and
+// resumed.
+func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts CampaignOptions) (*Report, error) {
+	// The config hash only guards snapshot compatibility; skip the
+	// JSON+SHA-256 work for plain in-memory campaigns (Run calls this per
+	// benchmark iteration).
+	e, err := newEngine(cfg, schemes, opts, opts.CheckpointPath != "")
+	if err != nil {
+		return nil, err
+	}
+	opts = e.opts
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Resume && opts.CheckpointPath != "" {
 		if err := e.loadSnapshot(); err != nil {
@@ -539,8 +565,11 @@ func (e *engine) onChunkSerialised(done, total int) {
 	e.opts.OnChunk(done, total)
 }
 
-// saveLocked snapshots the accumulator to CheckpointPath. Caller holds mu.
-func (e *engine) saveLocked() error {
+// snapshotLocked assembles the checkpoint payload. Caller holds mu. The
+// payload is canonical: trial errors are sorted by trial index, so two
+// engines that merged the same chunks — in any order, on any number of
+// workers or machines — produce byte-identical snapshots.
+func (e *engine) snapshotLocked() campaignSnapshot {
 	names := make([]string, len(e.schemes))
 	for i, s := range e.schemes {
 		names[i] = s.Name()
@@ -558,6 +587,12 @@ func (e *engine) saveLocked() error {
 		Errors:     e.trialErrs,
 	}
 	sort.Slice(snap.Errors, func(i, j int) bool { return snap.Errors[i].Trial < snap.Errors[j].Trial })
+	return snap
+}
+
+// saveLocked snapshots the accumulator to CheckpointPath. Caller holds mu.
+func (e *engine) saveLocked() error {
+	snap := e.snapshotLocked()
 	start := time.Now()
 	if err := checkpoint.Save(e.opts.CheckpointPath, checkpointKind, checkpointVersion, e.hash, &snap); err != nil {
 		return err
@@ -579,13 +614,21 @@ func (e *engine) loadSnapshot() error {
 	if err != nil {
 		return err
 	}
+	return e.restoreSnapshot(&snap, e.opts.CheckpointPath)
+}
+
+// restoreSnapshot seeds the accumulator from a loaded snapshot, validating
+// the payload shape against the engine's own config. from names the source
+// in errors.
+func (e *engine) restoreSnapshot(snap *campaignSnapshot, from string) error {
 	if len(snap.DoneChunks) != len(e.doneBits) || len(snap.Results) != len(e.accum) || snap.Years != e.years {
 		// The config hash covers everything that shapes these; reaching
 		// here means the snapshot lies about its own hash input.
 		return fmt.Errorf("%w: %s payload shape does not match its config",
-			checkpoint.ErrConfigMismatch, e.opts.CheckpointPath)
+			checkpoint.ErrConfigMismatch, from)
 	}
 	copy(e.doneBits, snap.DoneChunks)
+	e.doneChunks = 0
 	for _, word := range e.doneBits {
 		for ; word != 0; word &= word - 1 {
 			e.doneChunks++
@@ -595,7 +638,7 @@ func (e *engine) loadSnapshot() error {
 	for s := range e.accum {
 		if len(snap.Results[s].ByYear) != e.years {
 			return fmt.Errorf("%w: %s payload shape does not match its config",
-				checkpoint.ErrConfigMismatch, e.opts.CheckpointPath)
+				checkpoint.ErrConfigMismatch, from)
 		}
 		e.accum[s] = snap.Results[s]
 	}

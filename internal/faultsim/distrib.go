@@ -1,0 +1,327 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"xedsim/internal/checkpoint"
+)
+
+// This file is the campaign engine's distribution seam: the chunk-level
+// primitives a coordinator/worker deployment is built from. RunCampaign
+// stays the single-process front door; a distributed run decomposes into
+//
+//	ChunkRunner — a worker-side executor that evaluates any contiguous
+//	              span of chunks and returns its integer tallies, and
+//	Merger      — a coordinator-side accumulator that folds ChunkResults
+//	              (in any arrival order, rejecting duplicates) into the
+//	              same state RunCampaign builds in-process.
+//
+// Both are thin views over the same engine internals, which is what makes
+// the headline invariant cheap to state and test: for a fixed (Config,
+// schemes, Trials, Seed, ChunkSize), a Merger that has merged every chunk
+// exactly once holds byte-identical checkpoint snapshots — and therefore
+// bit-identical Reports — to a local RunCampaign, no matter how chunks
+// were partitioned, scheduled, retried or duplicated in between. Chunk
+// streams are pure functions of (seed, chunk index) and tallies compose by
+// integer addition, so the only failure mode left to defend against is
+// double-merging, which Merger.Merge rejects by chunk bitmap.
+
+// ErrDuplicateChunks reports a merge of a span whose chunks were all
+// already merged — the expected outcome of retries and duplicated
+// deliveries, surfaced as a distinct sentinel so callers can acknowledge
+// idempotently rather than fail.
+var ErrDuplicateChunks = errors.New("faultsim: chunk span already merged")
+
+// ChunkResult is one worker's tallies over the contiguous chunk span
+// [Lo, Hi): the wire unit of a distributed campaign. It is self-describing
+// enough for the Merger to validate shape and trial accounting before
+// trusting it.
+type ChunkResult struct {
+	// Lo and Hi bound the chunk span [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Trials counts the tallied trials in the span: the span's trial range
+	// minus the voided (panicked) ones listed in Errors.
+	Trials uint64 `json:"trials"`
+	// Tallies holds one SchemeTally per campaign scheme, in scheme order.
+	Tallies []SchemeTally `json:"tallies"`
+	// Errors lists the span's voided trials.
+	Errors []TrialError `json:"errors,omitempty"`
+}
+
+// CampaignHash returns the config hash guarding checkpoint compatibility
+// for a campaign shaped by (cfg, schemes, Trials, Seed, ChunkSize) — the
+// same hash RunCampaign stamps into snapshots. Distributed deployments use
+// it as the job identity: two submissions hashing equal are the same
+// campaign and produce bit-identical results, so a completed result can be
+// served from cache. The evaluation Engine is deliberately excluded
+// (engines are bit-identical by construction).
+func CampaignHash(cfg Config, schemes []Scheme, opts CampaignOptions) (string, error) {
+	e, err := newEngine(cfg, schemes, opts, true)
+	if err != nil {
+		return "", err
+	}
+	return e.hash, nil
+}
+
+// ChunkRunner evaluates chunk spans of one campaign on behalf of a remote
+// coordinator. It is single-goroutine (one runner per worker loop) and
+// reuses all per-trial state across spans, exactly like a RunCampaign
+// worker goroutine. Trial panics are voided and reported in the
+// ChunkResult; generation panics propagate (they cannot be contained
+// without desynchronising the RNG stream).
+type ChunkRunner struct {
+	e *engine
+	w *campaignWorker
+}
+
+// NewChunkRunner builds a runner for the campaign shaped by (cfg, schemes,
+// opts). Only Trials, Seed, ChunkSize, Engine and ErrorBudget of opts are
+// meaningful here; scheduling fields (Workers, CheckpointPath, OnChunk,
+// Metrics) belong to the caller's loop.
+func NewChunkRunner(cfg Config, schemes []Scheme, opts CampaignOptions) (*ChunkRunner, error) {
+	e, err := newEngine(cfg, schemes, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkRunner{
+		e: e,
+		w: newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years, e.opts.Engine),
+	}, nil
+}
+
+// Hash returns the campaign's config hash (the job identity).
+func (r *ChunkRunner) Hash() string { return r.e.hash }
+
+// NumChunks returns the campaign's total chunk count.
+func (r *ChunkRunner) NumChunks() int { return r.e.nChunks }
+
+// RunSpan evaluates chunks [lo, hi) and returns their tallies. It honours
+// ctx at sub-chunk granularity: a cancellation mid-span returns ctx's
+// error and no result (partial spans must never be merged). Spans are
+// independent — any partition of [0, NumChunks) into spans, run in any
+// order on any number of runners, yields tallies that merge to the same
+// campaign state.
+func (r *ChunkRunner) RunSpan(ctx context.Context, lo, hi int) (*ChunkResult, error) {
+	if lo < 0 || hi <= lo || hi > r.e.nChunks {
+		return nil, fmt.Errorf("faultsim: chunk span [%d, %d) out of range [0, %d)", lo, hi, r.e.nChunks)
+	}
+	res := &ChunkResult{Lo: lo, Hi: hi, Tallies: make([]SchemeTally, len(r.e.schemes))}
+	for s := range res.Tallies {
+		res.Tallies[s].ByYear = make([]uint64, r.e.years)
+	}
+	for c := lo; c < hi; c++ {
+		tlo, thi := r.e.chunkBounds(c)
+		if !r.w.runChunk(ctx, c, tlo, thi) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("faultsim: chunk %d aborted", c)
+		}
+		for s := range res.Tallies {
+			res.Tallies[s].Failures += r.w.total[s]
+			res.Tallies[s].DUEs += r.w.dues[s]
+			res.Tallies[s].SDCs += r.w.sdcs[s]
+			for y := range res.Tallies[s].ByYear {
+				res.Tallies[s].ByYear[y] += r.w.failures[s][y]
+			}
+		}
+		res.Trials += uint64(thi-tlo) - uint64(len(r.w.errs))
+		res.Errors = append(res.Errors, r.w.errs...)
+	}
+	return res, nil
+}
+
+// Merger folds ChunkResults into campaign state equivalent to a local
+// RunCampaign over the same chunks. It is safe for concurrent use; every
+// method takes the merger's lock. Duplicate spans are rejected (not
+// double-counted), which is what makes merging idempotent under retries,
+// duplicated deliveries and lease re-dispatch.
+type Merger struct {
+	mu sync.Mutex
+	e  *engine
+}
+
+// NewMerger builds a merger for the campaign shaped by (cfg, schemes,
+// opts). Trials, Seed, ChunkSize and ErrorBudget are meaningful; the
+// error budget is enforced across all merged spans, aggregating voided
+// trials from every worker.
+func NewMerger(cfg Config, schemes []Scheme, opts CampaignOptions) (*Merger, error) {
+	e, err := newEngine(cfg, schemes, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Merger{e: e}, nil
+}
+
+// Hash returns the campaign's config hash (the job identity).
+func (m *Merger) Hash() string { return m.e.hash }
+
+// NumChunks returns the campaign's total chunk count.
+func (m *Merger) NumChunks() int { return m.e.nChunks }
+
+// ChunkSize returns the normalized trials-per-chunk granularity.
+func (m *Merger) ChunkSize() int { return m.e.opts.ChunkSize }
+
+// DoneChunks returns how many chunks have been merged.
+func (m *Merger) DoneChunks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.e.doneChunks
+}
+
+// DoneTrials returns how many trials have been tallied (voided trials
+// excluded).
+func (m *Merger) DoneTrials() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.e.doneTrials
+}
+
+// TrialErrorCount returns the voided-trial total across all merged spans.
+func (m *Merger) TrialErrorCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.e.trialErrs)
+}
+
+// Complete reports whether every chunk has been merged.
+func (m *Merger) Complete() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.e.doneChunks == m.e.nChunks
+}
+
+// SpanMerged reports whether every chunk of [lo, hi) has been merged.
+func (m *Merger) SpanMerged(lo, hi int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mergedInSpanLocked(lo, hi) == hi-lo
+}
+
+func (m *Merger) mergedInSpanLocked(lo, hi int) int {
+	n := 0
+	for c := lo; c < hi; c++ {
+		if m.e.doneBits[c/64]&(1<<(c%64)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// spanTrials returns the trial count of chunk span [lo, hi).
+func (m *Merger) spanTrials(lo, hi int) uint64 {
+	flo, _ := m.e.chunkBounds(lo)
+	_, fhi := m.e.chunkBounds(hi - 1)
+	return uint64(fhi - flo)
+}
+
+// Merge folds one span result into the campaign. It validates the result's
+// shape and trial accounting against the campaign config, rejects
+// duplicates with ErrDuplicateChunks (callers treat that as a successful
+// no-op acknowledgement), and enforces the aggregated trial-error budget —
+// a budget breach returns ErrErrorBudgetExceeded after folding, mirroring
+// RunCampaign's merge semantics.
+func (m *Merger) Merge(res *ChunkResult) error {
+	if res == nil {
+		return fmt.Errorf("faultsim: nil chunk result")
+	}
+	if res.Lo < 0 || res.Hi <= res.Lo || res.Hi > m.e.nChunks {
+		return fmt.Errorf("faultsim: chunk span [%d, %d) out of range [0, %d)", res.Lo, res.Hi, m.e.nChunks)
+	}
+	if len(res.Tallies) != len(m.e.accum) {
+		return fmt.Errorf("faultsim: result has %d scheme tallies, campaign has %d schemes", len(res.Tallies), len(m.e.accum))
+	}
+	for s := range res.Tallies {
+		if len(res.Tallies[s].ByYear) != m.e.years {
+			return fmt.Errorf("faultsim: scheme %d tally has %d year buckets, campaign has %d", s, len(res.Tallies[s].ByYear), m.e.years)
+		}
+	}
+	if want := m.spanTrials(res.Lo, res.Hi) - uint64(len(res.Errors)); res.Trials != want {
+		return fmt.Errorf("faultsim: span [%d, %d) reports %d trials, config implies %d", res.Lo, res.Hi, res.Trials, want)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch merged := m.mergedInSpanLocked(res.Lo, res.Hi); {
+	case merged == res.Hi-res.Lo:
+		return ErrDuplicateChunks
+	case merged != 0:
+		// Spans are fixed at job creation; a partial overlap means the
+		// sender and the merger disagree about the unit layout.
+		return fmt.Errorf("faultsim: span [%d, %d) partially merged (%d of %d chunks)", res.Lo, res.Hi, merged, res.Hi-res.Lo)
+	}
+	for s := range m.e.accum {
+		m.e.accum[s].add(&res.Tallies[s])
+	}
+	for c := res.Lo; c < res.Hi; c++ {
+		m.e.doneBits[c/64] |= 1 << (c % 64)
+	}
+	m.e.doneChunks += res.Hi - res.Lo
+	m.e.doneTrials += res.Trials
+	m.e.trialErrs = append(m.e.trialErrs, res.Errors...)
+	if len(m.e.trialErrs) > m.e.opts.ErrorBudget {
+		return fmt.Errorf("%w: %d trials panicked (budget %d); first: %v",
+			ErrErrorBudgetExceeded, len(m.e.trialErrs), m.e.opts.ErrorBudget, &m.e.trialErrs[0])
+	}
+	return nil
+}
+
+// Report assembles the campaign Report from the merged state — for a
+// Complete merger, bit-identical to the local RunCampaign Report.
+func (m *Merger) Report() *Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sortTrialErrs(m.e.trialErrs)
+	return m.e.reportLocked()
+}
+
+// SnapshotBytes returns the merged state as canonical checkpoint envelope
+// bytes — exactly what RunCampaign's Save writes for the same state, which
+// is how distributed results are proven bit-identical: compare these bytes
+// against a local run's checkpoint file.
+func (m *Merger) SnapshotBytes() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := m.e.snapshotLocked()
+	return checkpoint.Marshal(checkpointKind, checkpointVersion, m.e.hash, &snap)
+}
+
+// Save writes the merged state to path in the campaign checkpoint format
+// (atomic + durable, config-hash-guarded). A saved merger can be restored
+// by Load — or resumed by a local RunCampaign with the same config, which
+// is the escape hatch when a coordinator is retired mid-job.
+func (m *Merger) Save(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := m.e.snapshotLocked()
+	return checkpoint.Save(path, checkpointKind, checkpointVersion, m.e.hash, &snap)
+}
+
+// Load restores merged state from a checkpoint written by Save (or by a
+// local RunCampaign of the same campaign). A missing file leaves the
+// merger empty and returns nil; a snapshot from any other configuration is
+// refused with the checkpoint sentinel errors.
+func (m *Merger) Load(path string) error {
+	var snap campaignSnapshot
+	err := checkpoint.Load(path, checkpointKind, checkpointVersion, m.e.hash, &snap)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.e.restoreSnapshot(&snap, path)
+}
+
+// sortTrialErrs orders trial errors canonically (by trial index).
+func sortTrialErrs(errs []TrialError) {
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Trial < errs[j].Trial })
+}

@@ -1,0 +1,341 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// distTestOpts is a small campaign that still spans many chunks.
+func distTestOpts() CampaignOptions {
+	return CampaignOptions{Trials: 40_000, Seed: 99, ChunkSize: 512}
+}
+
+// runSpans partitions the chunk range into spans of `unit` chunks,
+// evaluates them with ChunkRunners and merges them in a shuffled order.
+func runSpans(t *testing.T, cfg Config, mkSchemes func() []Scheme, opts CampaignOptions, unit int, shuffle *rand.Rand) *Merger {
+	t.Helper()
+	m, err := NewMerger(cfg, mkSchemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two runners standing in for two worker processes.
+	runners := make([]*ChunkRunner, 2)
+	for i := range runners {
+		if runners[i], err = NewChunkRunner(cfg, mkSchemes(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var spans [][2]int
+	for lo := 0; lo < m.NumChunks(); lo += unit {
+		hi := lo + unit
+		if hi > m.NumChunks() {
+			hi = m.NumChunks()
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	shuffle.Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+	for i, sp := range spans {
+		res, err := runners[i%len(runners)].RunSpan(context.Background(), sp[0], sp[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Merge(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestMergerMatchesRunCampaign is the distribution seam's core invariant:
+// spans evaluated by independent runners and merged out of order produce a
+// Report deep-equal to RunCampaign's, and snapshot bytes identical to the
+// checkpoint RunCampaign saves.
+func TestMergerMatchesRunCampaign(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LifetimeHours = 2 * HoursPerYear
+	mkSchemes := func() []Scheme { return []Scheme{NewSECDED(), NewXED()} }
+	opts := distTestOpts()
+
+	ckpt := filepath.Join(t.TempDir(), "local.ckpt")
+	localOpts := opts
+	localOpts.CheckpointPath = ckpt
+	localRep, err := RunCampaign(context.Background(), cfg, mkSchemes(), localOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localBytes, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, unit := range []int{1, 7, 16, 1000} {
+		m := runSpans(t, cfg, mkSchemes, opts, unit, rand.New(rand.NewSource(int64(unit))))
+		if !m.Complete() {
+			t.Fatalf("unit %d: merger incomplete: %d/%d chunks", unit, m.DoneChunks(), m.NumChunks())
+		}
+		if !reflect.DeepEqual(m.Report(), localRep) {
+			t.Fatalf("unit %d: merged Report differs from RunCampaign", unit)
+		}
+		b, err := m.SnapshotBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(localBytes) {
+			t.Fatalf("unit %d: merged snapshot bytes differ from local checkpoint", unit)
+		}
+	}
+}
+
+// TestMergerLaneEngineBitIdentical crosses the engine axis: spans run on
+// the lanes engine merge to the same bytes as an indexed local run.
+func TestMergerLaneEngineBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LifetimeHours = 2 * HoursPerYear
+	mkSchemes := func() []Scheme { return []Scheme{NewXED()} }
+	opts := distTestOpts()
+
+	localRep, err := RunCampaign(context.Background(), cfg, mkSchemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneOpts := opts
+	laneOpts.Engine = EngineLanes
+	m := runSpans(t, cfg, mkSchemes, laneOpts, 13, rand.New(rand.NewSource(5)))
+	if !reflect.DeepEqual(m.Report(), localRep) {
+		t.Fatal("lane-engine merged Report differs from indexed RunCampaign")
+	}
+}
+
+// TestMergeRejectsDuplicates pins at-most-once merging: a span delivered
+// twice is acknowledged as ErrDuplicateChunks and not double-counted, and
+// a partially overlapping span is an error.
+func TestMergeRejectsDuplicates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LifetimeHours = 1 * HoursPerYear
+	schemes := []Scheme{NewXED()}
+	opts := CampaignOptions{Trials: 4096, Seed: 1, ChunkSize: 512}
+
+	m, err := NewMerger(cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewChunkRunner(cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunSpan(context.Background(), 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Merge(res); err != nil {
+		t.Fatal(err)
+	}
+	trials, chunks := m.DoneTrials(), m.DoneChunks()
+	if err := m.Merge(res); !errors.Is(err, ErrDuplicateChunks) {
+		t.Fatalf("duplicate merge err = %v, want ErrDuplicateChunks", err)
+	}
+	if m.DoneTrials() != trials || m.DoneChunks() != chunks {
+		t.Fatal("duplicate merge changed accumulators")
+	}
+
+	overlap, err := r.RunSpan(context.Background(), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Merge(overlap); err == nil || errors.Is(err, ErrDuplicateChunks) {
+		t.Fatalf("partial overlap err = %v, want hard error", err)
+	}
+}
+
+// TestMergeValidatesEnvelopes pins the shape/accounting checks protecting
+// the coordinator from corrupted or mismatched worker envelopes.
+func TestMergeValidatesEnvelopes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LifetimeHours = 1 * HoursPerYear
+	schemes := []Scheme{NewXED()}
+	opts := CampaignOptions{Trials: 4096, Seed: 1, ChunkSize: 512}
+	m, err := NewMerger(cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewChunkRunner(cfg, schemes, opts)
+	good, err := r.RunSpan(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(r ChunkResult) ChunkResult
+	}{
+		{"out of range", func(r ChunkResult) ChunkResult { r.Hi = 99; return r }},
+		{"inverted span", func(r ChunkResult) ChunkResult { r.Lo, r.Hi = 2, 2; return r }},
+		{"wrong scheme count", func(r ChunkResult) ChunkResult { r.Tallies = nil; return r }},
+		{"wrong year buckets", func(r ChunkResult) ChunkResult {
+			r.Tallies = []SchemeTally{{ByYear: make([]uint64, 99)}}
+			return r
+		}},
+		{"trial miscount", func(r ChunkResult) ChunkResult { r.Trials++; return r }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mut(*good)
+			if err := m.Merge(&bad); err == nil {
+				t.Fatal("corrupted envelope accepted")
+			}
+		})
+	}
+	if m.DoneChunks() != 0 {
+		t.Fatal("rejected envelopes advanced the accumulator")
+	}
+}
+
+// TestMergerErrorBudgetAggregates pins cross-worker error-budget
+// enforcement: voided trials from different spans accumulate, and the
+// budget trips on the merge that crosses it.
+func TestMergerErrorBudgetAggregates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LifetimeHours = 1 * HoursPerYear
+	schemes := []Scheme{NewXED()}
+	opts := CampaignOptions{Trials: 4096, Seed: 1, ChunkSize: 512, ErrorBudget: 3}
+	m, err := NewMerger(cfg, schemes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate spans with two voided trials each (as if scheme code
+	// panicked on remote workers).
+	mkRes := func(lo int) *ChunkResult {
+		res := &ChunkResult{
+			Lo: lo, Hi: lo + 1,
+			Trials:  512 - 2,
+			Tallies: []SchemeTally{{ByYear: make([]uint64, 1)}},
+		}
+		for i := 0; i < 2; i++ {
+			res.Errors = append(res.Errors, TrialError{
+				Trial: lo*512 + i, Chunk: lo, RNGState: [4]uint64{1, 2, 3, 4}, PanicValue: "boom",
+			})
+		}
+		return res
+	}
+	if err := m.Merge(mkRes(0)); err != nil {
+		t.Fatalf("first span (2 errors, budget 3): %v", err)
+	}
+	err = m.Merge(mkRes(1))
+	if !errors.Is(err, ErrErrorBudgetExceeded) {
+		t.Fatalf("second span err = %v, want ErrErrorBudgetExceeded", err)
+	}
+	if m.TrialErrorCount() != 4 {
+		t.Fatalf("TrialErrorCount = %d, want 4", m.TrialErrorCount())
+	}
+}
+
+// TestMergerSaveLoadRoundTrip pins coordinator crash recovery: a merger
+// restored from its own checkpoint continues exactly where it stopped and
+// finishes with the same bytes as an uninterrupted one.
+func TestMergerSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LifetimeHours = 2 * HoursPerYear
+	mkSchemes := func() []Scheme { return []Scheme{NewXED(), NewChipkill()} }
+	opts := distTestOpts()
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+
+	r, err := NewChunkRunner(cfg, mkSchemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewMerger(cfg, mkSchemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merge the first half, save, and abandon m1 (the "crashed"
+	// coordinator).
+	half := m1.NumChunks() / 2
+	res, err := r.RunSpan(context.Background(), 0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Merge(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewMerger(cfg, mkSchemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if m2.DoneChunks() != half {
+		t.Fatalf("restored DoneChunks = %d, want %d", m2.DoneChunks(), half)
+	}
+	if !m2.SpanMerged(0, half) || m2.SpanMerged(half, m2.NumChunks()) {
+		t.Fatal("restored bitmap wrong")
+	}
+	rest, err := r.RunSpan(context.Background(), half, m2.NumChunks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Merge(rest); err != nil {
+		t.Fatal(err)
+	}
+
+	localRep, err := RunCampaign(context.Background(), cfg, mkSchemes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2.Report(), localRep) {
+		t.Fatal("restored+completed merger differs from local run")
+	}
+
+	// Loading a missing file is a fresh start, not an error.
+	m3, _ := NewMerger(cfg, mkSchemes(), opts)
+	if err := m3.Load(filepath.Join(t.TempDir(), "absent.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	if m3.DoneChunks() != 0 {
+		t.Fatal("missing checkpoint produced progress")
+	}
+}
+
+// TestCampaignHashIdentity pins the job-identity semantics: the hash is
+// stable across engines (bit-identical results ⇒ same cache key) and
+// discriminates on everything that shapes the trial streams.
+func TestCampaignHashIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	schemes := []Scheme{NewXED()}
+	base := CampaignOptions{Trials: 1000, Seed: 1}
+	h0, err := CampaignHash(cfg, schemes, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := base
+	lanes.Engine = EngineLanes
+	if h, _ := CampaignHash(cfg, schemes, lanes); h != h0 {
+		t.Fatal("engine choice changed the campaign hash")
+	}
+	// Explicit default chunk size hashes like the implicit one.
+	explicit := base
+	explicit.ChunkSize = DefaultChunkSize
+	if h, _ := CampaignHash(cfg, schemes, explicit); h != h0 {
+		t.Fatal("explicit default chunk size changed the campaign hash")
+	}
+	for name, mut := range map[string]func(*CampaignOptions){
+		"seed":   func(o *CampaignOptions) { o.Seed++ },
+		"trials": func(o *CampaignOptions) { o.Trials++ },
+		"chunk":  func(o *CampaignOptions) { o.ChunkSize = 100 },
+	} {
+		o := base
+		mut(&o)
+		if h, _ := CampaignHash(cfg, schemes, o); h == h0 {
+			t.Fatalf("%s change did not change the campaign hash", name)
+		}
+	}
+}

@@ -8,10 +8,33 @@ import (
 
 // NewMux returns the debug HTTP mux the -debug-addr CLI flags serve: the
 // registry's JSON snapshot at /metrics (and the expvar-convention alias
-// /debug/vars), plus the standard pprof handlers under /debug/pprof/, so a
-// live campaign can be profiled and watched over one port.
-func NewMux(r *Registry) *http.ServeMux {
+// /debug/vars), the standard pprof handlers under /debug/pprof/, and
+// liveness/readiness probes at /healthz and /readyz, so a live campaign —
+// or a coordinator/worker service — can be probed, profiled and watched
+// over one port.
+//
+// /healthz always answers 200 (the process is up and serving). /readyz
+// answers 200 only while every supplied ready check returns nil; a failing
+// check yields 503 with the error text, which is how a draining
+// coordinator or a full job queue tells its load balancer to back off.
+// With no checks, /readyz always answers 200.
+func NewMux(r *Registry, ready ...func() error) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, check := range ready {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte("not ready: " + err.Error() + "\n")) //nolint:errcheck
+				return
+			}
+		}
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
 	metrics := func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)

@@ -2,10 +2,69 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 )
+
+// TestMuxHealthAndReadiness pins the probe contract: /healthz is
+// unconditional liveness, /readyz reflects the supplied checks and flips
+// to 503 (with the failing check's text) the moment one errors.
+func TestMuxHealthAndReadiness(t *testing.T) {
+	var draining atomic.Bool
+	r := NewRegistry()
+	srv := httptest.NewServer(NewMux(r, func() error {
+		if draining.Load() {
+			return errors.New("draining")
+		}
+		return nil
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz while ready = %d", code)
+	}
+	draining.Store(true)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz while draining = %d %q", code, body)
+	}
+	// Liveness is unaffected by readiness.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d", code)
+	}
+}
+
+// TestMuxReadyzNoChecks pins the zero-check default: always ready.
+func TestMuxReadyzNoChecks(t *testing.T) {
+	srv := httptest.NewServer(NewMux(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d", resp.StatusCode)
+	}
+}
 
 func TestMuxServesMetricsAndPprof(t *testing.T) {
 	r := NewRegistry()
