@@ -41,9 +41,9 @@ bench-save:
 # Machine-readable perf trajectory: reruns the Table I campaign benchmark
 # across every engine and snapshots per-engine medians (ns/op, allocs/op,
 # trials/s) into $(BENCH_JSON) via cmd/xedbench. The committed
-# BENCH_pr6.json files let later PRs diff engine throughput without
+# BENCH_pr*.json files let later PRs diff engine throughput without
 # replaying old trees.
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_JSON ?= BENCH_pr8.json
 
 bench-json:
 	go test -run='^$$' -bench=BenchmarkTableICampaign -benchmem \
@@ -71,6 +71,8 @@ fuzz:
 	go test -fuzz=FuzzCRC8Miscorrection -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
 	go test -fuzz=FuzzRSErasureRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
 	go test -fuzz=FuzzEvaluatorVsReference -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
+	go test -fuzz=FuzzLaneVsIndexedEvaluator -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
+	go test -fuzz=FuzzBatchGenVsScalar -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
 
 # Everything CI runs (see .github/workflows/ci.yml), runnable locally.
 ci:

@@ -63,6 +63,10 @@ type Benchmark struct {
 	// the -N GOMAXPROCS suffix, e.g.
 	// "BenchmarkTableICampaign/judge/engine=lanes-8".
 	Name string `json:"name"`
+	// Group is the first sub-benchmark path component ("judge", "gen",
+	// "end2end", ...), letting consumers split a pipeline benchmark into
+	// its stages without re-parsing Name. Empty for flat benchmarks.
+	Group string `json:"group,omitempty"`
 	// Runs is the number of repetitions aggregated.
 	Runs int `json:"runs"`
 	// Median maps metric unit → median value across runs. Units are as
@@ -102,7 +106,7 @@ func parseBench(r io.Reader) (*Doc, error) {
 			}
 			b := byName[name]
 			if b == nil {
-				b = &Benchmark{Name: name, samples: map[string][]float64{}}
+				b = &Benchmark{Name: name, Group: benchGroup(name), samples: map[string][]float64{}}
 				byName[name] = b
 				doc.Benchmarks = append(doc.Benchmarks, b)
 			}
@@ -128,6 +132,32 @@ func parseBench(r io.Reader) (*Doc, error) {
 		}
 	}
 	return doc, nil
+}
+
+// benchGroup extracts the first sub-benchmark path component:
+// "BenchmarkTableICampaign/gen/gen=batch-8" → "gen". Flat benchmark names
+// (no "/") have no group. A trailing "-N" GOMAXPROCS suffix is stripped
+// only when the group is the final component.
+func benchGroup(name string) string {
+	start := -1
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			if start >= 0 {
+				return name[start:i]
+			}
+			start = i + 1
+		}
+	}
+	if start < 0 {
+		return ""
+	}
+	group := name[start:]
+	for i := len(group) - 1; i > 0; i-- {
+		if group[i] == '-' {
+			return group[:i]
+		}
+	}
+	return group
 }
 
 // parseBenchLine splits one "BenchmarkX-8  123  456 ns/op  7 B/op ..."

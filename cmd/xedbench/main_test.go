@@ -43,6 +43,24 @@ func TestParseBench(t *testing.T) {
 	if lanes.Runs != 1 || lanes.Median["trials/s"] != 41814207 {
 		t.Fatalf("lanes aggregation wrong: %+v", lanes)
 	}
+	if idx.Group != "judge" || lanes.Group != "judge" {
+		t.Fatalf("stage groups wrong: %q, %q", idx.Group, lanes.Group)
+	}
+}
+
+func TestBenchGroup(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkTableICampaign/judge/engine=lanes-8":             "judge",
+		"BenchmarkTableICampaign/gen/gen=batch-8":                  "gen",
+		"BenchmarkTableICampaign/end2end/engine=lanes/gen=batch-8": "end2end",
+		"BenchmarkTableICampaign/gen-8":                            "gen",
+		"BenchmarkX-4":                                             "",
+		"BenchmarkX":                                               "",
+	} {
+		if got := benchGroup(name); got != want {
+			t.Fatalf("benchGroup(%q) = %q, want %q", name, got, want)
+		}
+	}
 }
 
 func TestParseBenchEvenCountAndEmpty(t *testing.T) {

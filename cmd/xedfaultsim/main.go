@@ -59,6 +59,7 @@ type cliArgs struct {
 	ckptPath   string
 	resume     bool
 	engine     string
+	gen        string
 }
 
 // validateArgs returns the message usageErr should print, or nil. Range
@@ -98,6 +99,9 @@ func validateArgs(a cliArgs) error {
 	if _, err := faultsim.ParseEngine(a.engine); err != nil {
 		return err
 	}
+	if _, err := faultsim.ParseGenerator(a.gen); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -113,6 +117,7 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", faultsim.DefaultCheckpointInterval, "interval between periodic snapshots")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); results are bit-identical")
+	gen := flag.String("gen", "", "trial-generation mode: scalar|batch (default scalar); batch draws a different exactly-distributed stream")
 	progress := flag.Bool("progress", false, "repaint a one-line live status (trials/s, per-scheme tallies) on stderr")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON")
 	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof over HTTP on this address (e.g. localhost:6060)")
@@ -129,6 +134,7 @@ func main() {
 		ckptPath:   *ckptPath,
 		resume:     *resume,
 		engine:     *engine,
+		gen:        *gen,
 	}); err != nil {
 		usageErr("%v", err)
 	}
@@ -181,6 +187,7 @@ func main() {
 			Resume:             *resume,
 			Metrics:            reg,
 			Engine:             faultsim.Engine(*engine),
+			Gen:                faultsim.Generator(*gen),
 		},
 	}
 	var runErr error

@@ -32,6 +32,7 @@ func TestValidateArgs(t *testing.T) {
 		{"checkpoint with all", func(a *cliArgs) { a.experiment = "all"; a.ckptPath = "x.json" }, "-checkpoint"},
 		{"resume without checkpoint", func(a *cliArgs) { a.resume = true }, "-resume"},
 		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
+		{"unknown generator", func(a *cliArgs) { a.gen = "warp" }, "generat"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

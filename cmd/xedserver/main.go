@@ -62,6 +62,7 @@ type cliArgs struct {
 	chunkSize   int
 	scrub       float64
 	engine      string
+	gen         string
 	outPath     string
 }
 
@@ -84,6 +85,9 @@ func validateArgs(a cliArgs) error {
 			return fmt.Errorf("-scrub-hours must be >= 0, got %v", a.scrub)
 		}
 		if _, err := faultsim.ParseEngine(a.engine); err != nil {
+			return err
+		}
+		if _, err := faultsim.ParseGenerator(a.gen); err != nil {
 			return err
 		}
 		return nil
@@ -128,6 +132,7 @@ func main() {
 	scrub := flag.Float64("scrub-hours", 0, "override patrol-scrub interval in hours (submit mode)")
 	overlap := flag.Bool("address-overlap", false, "require address-range intersection for compound failures (submit mode)")
 	engine := flag.String("engine", "", "worker evaluation engine: lanes|indexed|reference; results are bit-identical (submit mode)")
+	gen := flag.String("gen", "", "trial-generation mode: scalar|batch; part of the job identity (submit mode)")
 	outPath := flag.String("out", "", "write the result's canonical checkpoint to this file (submit mode)")
 	flag.Parse()
 
@@ -145,6 +150,7 @@ func main() {
 		chunkSize:    *chunkSize,
 		scrub:        *scrub,
 		engine:       *engine,
+		gen:          *gen,
 		outPath:      *outPath,
 	}); err != nil {
 		usageErr("%v", err)
@@ -164,6 +170,7 @@ func main() {
 			scrub:       *scrub,
 			overlap:     *overlap,
 			engine:      *engine,
+			gen:         *gen,
 			outPath:     *outPath,
 		})
 	} else {
@@ -233,6 +240,7 @@ type submitOptions struct {
 	scrub       float64
 	overlap     bool
 	engine      string
+	gen         string
 	outPath     string
 }
 
@@ -251,6 +259,7 @@ func runSubmit(ctx context.Context, o submitOptions) error {
 		Seed:      o.seed,
 		ChunkSize: o.chunkSize,
 		Engine:    o.engine,
+		Gen:       o.gen,
 	}
 	if err := spec.Validate(); err != nil {
 		return err

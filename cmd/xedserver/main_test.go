@@ -54,6 +54,7 @@ func TestValidateArgs(t *testing.T) {
 		{"submit negative chunk size", func(a *cliArgs) { *a = submitArgs(); a.chunkSize = -1 }, "-chunk-size"},
 		{"submit negative scrub", func(a *cliArgs) { *a = submitArgs(); a.scrub = -1 }, "-scrub-hours"},
 		{"submit bad engine", func(a *cliArgs) { *a = submitArgs(); a.engine = "warp" }, "engine"},
+		{"submit bad generator", func(a *cliArgs) { *a = submitArgs(); a.gen = "warp" }, "generat"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

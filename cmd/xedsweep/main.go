@@ -35,6 +35,7 @@ type cliArgs struct {
 	systems int
 	workers int
 	engine  string
+	gen     string
 }
 
 // validateArgs returns the message usageErr should print, or nil.
@@ -53,6 +54,9 @@ func validateArgs(a cliArgs) error {
 	if _, err := faultsim.ParseEngine(a.engine); err != nil {
 		return err
 	}
+	if _, err := faultsim.ParseGenerator(a.gen); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -62,8 +66,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); results are bit-identical")
+	gen := flag.String("gen", "", "trial-generation mode: scalar|batch (default scalar)")
 	flag.Parse()
-	if err := validateArgs(cliArgs{sweep: *sweep, systems: *systems, workers: *workers, engine: *engine}); err != nil {
+	if err := validateArgs(cliArgs{sweep: *sweep, systems: *systems, workers: *workers, engine: *engine, gen: *gen}); err != nil {
 		usageErr("%v", err)
 	}
 
@@ -79,6 +84,7 @@ func main() {
 		rep, err := faultsim.RunCampaign(ctx, cfg, schemes, faultsim.CampaignOptions{
 			Trials: *systems, Seed: *seed, Workers: *workers,
 			Engine: faultsim.Engine(*engine),
+			Gen:    faultsim.Generator(*gen),
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {

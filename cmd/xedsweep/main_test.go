@@ -24,6 +24,7 @@ func TestValidateArgs(t *testing.T) {
 		{"unknown sweep", func(a *cliArgs) { a.sweep = "voltage" }, "unknown sweep"},
 		{"empty sweep", func(a *cliArgs) { a.sweep = "" }, "unknown sweep"},
 		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
+		{"unknown generator", func(a *cliArgs) { a.gen = "warp" }, "generat"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

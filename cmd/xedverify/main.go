@@ -56,6 +56,7 @@ type cliArgs struct {
 	configs         int
 	trialsPerConfig int
 	engine          string
+	gen             string
 	coordinator     string
 }
 
@@ -77,6 +78,9 @@ func validateArgs(a cliArgs) error {
 		return fmt.Errorf("-trials-per-config must be positive, got %d", a.trialsPerConfig)
 	}
 	if _, err := faultsim.ParseEngine(a.engine); err != nil {
+		return err
+	}
+	if _, err := faultsim.ParseGenerator(a.gen); err != nil {
 		return err
 	}
 	if a.coordinator != "" && a.workers != 0 {
@@ -112,6 +116,7 @@ func main() {
 	configs := flag.Int("configs", def.Configs, "random configs for the evaluator differential claim")
 	trialsPerConfig := flag.Int("trials-per-config", def.TrialsPerConfig, "trials per differential config")
 	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); verdicts must not depend on it")
+	gen := flag.String("gen", "", "trial-generation mode: scalar|batch (default scalar); verdicts must agree across modes")
 	coordinator := flag.String("coordinator", "", "run campaigns through this xedserver coordinator URL instead of local cores")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -127,6 +132,7 @@ func main() {
 		configs:         *configs,
 		trialsPerConfig: *trialsPerConfig,
 		engine:          *engine,
+		gen:             *gen,
 		coordinator:     *coordinator,
 	}); err != nil {
 		usageErr("%v", err)
@@ -152,6 +158,7 @@ func main() {
 		Configs:         *configs,
 		TrialsPerConfig: *trialsPerConfig,
 		Engine:          faultsim.Engine(*engine),
+		Gen:             faultsim.Generator(*gen),
 	}
 	if *coordinator != "" {
 		opts.Runner = dist.NewClient(*coordinator, nil).Runner()

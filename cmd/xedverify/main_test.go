@@ -26,6 +26,7 @@ func TestValidateArgs(t *testing.T) {
 		{"zero trials-per-config", func(a *cliArgs) { a.trialsPerConfig = 0 }, "-trials-per-config"},
 		{"unknown claim", func(a *cliArgs) { a.claims = "fig7/no-such-claim" }, "unknown claim"},
 		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
+		{"unknown generator", func(a *cliArgs) { a.gen = "warp" }, "generat"},
 		{"workers with coordinator", func(a *cliArgs) {
 			a.coordinator = "http://localhost:7600"
 			a.workers = 4

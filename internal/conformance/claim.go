@@ -109,6 +109,13 @@ type Options struct {
 	// running the gate under faultsim.EngineLanes is exactly how the
 	// bit-sliced engine's conformance is demonstrated.
 	Engine faultsim.Engine
+	// Gen selects the trial-generation mode ("" = scalar). The batch mode
+	// draws a different (exactly distributed) stream, so verdicts must
+	// agree statistically, not bit for bit — running the gate under
+	// faultsim.GenBatch is how the batch generator's conformance is
+	// demonstrated. The evaluator differential claim also regenerates its
+	// traces through the selected mode.
+	Gen faultsim.Generator
 }
 
 // DefaultOptions returns the tuning the CI gate runs with: every claim in
@@ -159,6 +166,9 @@ func (o Options) normalize() Options {
 	}
 	if eng, err := faultsim.ParseEngine(string(o.Engine)); err == nil {
 		o.Engine = eng
+	}
+	if gen, err := faultsim.ParseGenerator(string(o.Gen)); err == nil {
+		o.Gen = gen
 	}
 	return o
 }
@@ -248,6 +258,7 @@ func ratioClaim(name, ref, doc string, cfg func() faultsim.Config, better, worse
 					Seed:    batchSeed(o.Seed, name, batch),
 					Workers: o.Workers,
 					Engine:  o.Engine,
+					Gen:     o.Gen,
 				})
 				if err != nil {
 					return Verdict{Status: Errored, Err: err, Trials: trials, Detail: err.Error()}
@@ -310,6 +321,7 @@ func bandClaim(name, ref, doc string, cfg func() faultsim.Config, a, b string, b
 				Seed:    batchSeed(o.Seed, name, 0),
 				Workers: o.Workers,
 				Engine:  o.Engine,
+				Gen:     o.Gen,
 			})
 			if err != nil {
 				return Verdict{Status: Errored, Err: err, Detail: err.Error()}

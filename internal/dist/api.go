@@ -65,6 +65,10 @@ type JobSpec struct {
 	// Engine selects the worker-side evaluation engine. NOT part of the
 	// job identity: results are bit-identical across engines.
 	Engine string `json:"engine,omitempty"`
+	// Gen selects the trial-generation mode ("scalar" or "batch"). Part of
+	// the job identity — the modes draw different (exactly distributed)
+	// streams — via faultsim.CampaignHash.
+	Gen string `json:"gen,omitempty"`
 	// ErrorBudget bounds voided (panicking) trials aggregated across all
 	// workers; 0 selects faultsim.DefaultErrorBudget.
 	ErrorBudget int `json:"error_budget,omitempty"`
@@ -77,6 +81,7 @@ func (s *JobSpec) CampaignOptions() faultsim.CampaignOptions {
 		Seed:        s.Seed,
 		ChunkSize:   s.ChunkSize,
 		Engine:      faultsim.Engine(s.Engine),
+		Gen:         faultsim.Generator(s.Gen),
 		ErrorBudget: s.ErrorBudget,
 	}
 }
@@ -96,6 +101,9 @@ func (s *JobSpec) Validate() error {
 		return fmt.Errorf("dist: no schemes named")
 	}
 	if _, err := faultsim.ParseEngine(s.Engine); err != nil {
+		return err
+	}
+	if _, err := faultsim.ParseGenerator(s.Gen); err != nil {
 		return err
 	}
 	if _, err := s.ResolveSchemes(); err != nil {

@@ -171,6 +171,7 @@ func (c *Client) Runner() func(ctx context.Context, cfg faultsim.Config, schemes
 			Seed:        opts.Seed,
 			ChunkSize:   opts.ChunkSize,
 			Engine:      string(opts.Engine),
+			Gen:         string(opts.Gen),
 			ErrorBudget: opts.ErrorBudget,
 		})
 	}

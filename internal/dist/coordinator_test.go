@@ -151,6 +151,56 @@ func TestCoordinatorMatchesLocal(t *testing.T) {
 	}
 }
 
+// TestCoordinatorBatchGenMatchesLocal extends the core promise to the
+// batch generation mode: a -gen=batch job sharded across leased units
+// merges to exactly the local batch run's Report and checkpoint bytes, and
+// — because the generator is part of the job identity — a batch submission
+// is never served the scalar job's cached result.
+func TestCoordinatorBatchGenMatchesLocal(t *testing.T) {
+	scalar := testSpec()
+	batch := testSpec()
+	batch.Gen = string(faultsim.GenBatch)
+	localRep, localBytes := localRun(t, batch)
+
+	c := newTestCoordinator(t, CoordinatorOptions{UnitChunks: 4})
+	st, err := c.Submit(*scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainJob(t, c)
+
+	st2, err := c.Submit(*batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cached || st2.ID == st.ID {
+		t.Fatalf("batch submission hit the scalar job's cache: %+v", st2)
+	}
+	drainJob(t, c)
+
+	rep, err := c.Result(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, localRep) {
+		t.Fatal("coordinator batch-gen Report differs from local RunCampaign")
+	}
+	b, err := c.CheckpointBytes(st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(localBytes) {
+		t.Fatal("coordinator batch-gen checkpoint bytes differ from local checkpoint file")
+	}
+	scalarRep, err := c.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(scalarRep.Results, rep.Results) {
+		t.Fatal("scalar and batch jobs produced identical tallies; the generator plausibly never switched")
+	}
+}
+
 // TestQueueBackpressure pins the bounded queue: beyond QueueDepth active
 // jobs, submissions fail with ErrQueueFull — and over HTTP, 429 with a
 // Retry-After header.

@@ -101,6 +101,39 @@ func ParseEngine(s string) (Engine, error) {
 	return "", fmt.Errorf("faultsim: unknown engine %q (want indexed, lanes or reference)", s)
 }
 
+// Generator selects the trial-generation implementation a campaign runs on.
+// Unlike Engine, the choice IS part of the campaign's identity: the batch
+// generator draws the same distributions but consumes uniforms in a
+// different (column-major) order, so its trial streams — while exactly
+// distributed like the scalar ones, see batchgen.go — are not bit-identical
+// to them. The generator is therefore included in the checkpoint config
+// hash, and a campaign checkpointed under one generator cannot be resumed
+// under the other. For a fixed (cfg, Trials, Seed, ChunkSize, Gen), results
+// remain bit-identical across worker counts, engines, and resume patterns.
+type Generator string
+
+const (
+	// GenScalar draws each trial's records one scalar variate at a time
+	// (the default; bit-compatible with every release since PR 2).
+	GenScalar Generator = "scalar"
+	// GenBatch plans a whole chunk of trials at once in structure-of-arrays
+	// form: one arrival-run pass, then class/onset/geometry columns filled
+	// array-at-a-time. See batchgen.go.
+	GenBatch Generator = "batch"
+)
+
+// ParseGenerator maps a CLI/flag string to a Generator. The empty string
+// selects GenScalar.
+func ParseGenerator(s string) (Generator, error) {
+	switch Generator(s) {
+	case "", GenScalar:
+		return GenScalar, nil
+	case GenBatch:
+		return GenBatch, nil
+	}
+	return "", fmt.Errorf("faultsim: unknown generator %q (want scalar or batch)", s)
+}
+
 // CampaignOptions parameterises RunCampaign.
 type CampaignOptions struct {
 	// Trials is the number of systems to simulate. Required.
@@ -133,6 +166,11 @@ type CampaignOptions struct {
 	// Engine selects the trial-judging implementation; the zero value is
 	// EngineIndexed. Reports are bit-identical across engines.
 	Engine Engine
+	// Gen selects the trial-generation implementation; the zero value is
+	// GenScalar. Unlike Engine, Gen is part of the campaign's identity
+	// (GenBatch consumes the substreams in a different order), so it is
+	// covered by the checkpoint config hash.
+	Gen Generator
 	// Metrics, when non-nil, publishes live campaign counters under
 	// "campaign.*" names: trial/chunk progress, per-scheme failure
 	// tallies, trial errors and checkpoint save latency. Tallies advance
@@ -150,7 +188,10 @@ type TrialError struct {
 	Trial int `json:"trial"`
 	Chunk int `json:"chunk"`
 	// RNGState is the simrand state at the head of the generate call that
-	// produced this trial — the trial's replay seed (see Replay).
+	// produced this trial — the trial's replay seed (see Replay). Under
+	// GenBatch a trial's draws are interleaved with the rest of its chunk,
+	// so this is the chunk-head substream state instead and Replay cannot
+	// regenerate the stream; Faults carries the authoritative records.
 	RNGState simrand.State `json:"rng_state"`
 	// Faults is the trial's generated fault stream.
 	Faults []FaultRecord `json:"faults"`
@@ -170,7 +211,9 @@ func (e *TrialError) Error() string {
 // the panic contained. cfg and schemes must match the original campaign's
 // (generation is filtered by what the schemes can react to). It returns
 // the regenerated faults, the per-scheme outcomes (nil if the panic
-// recurred) and the recovered panic value (nil if it did not).
+// recurred) and the recovered panic value (nil if it did not). Replay
+// regenerates with the scalar generator; for a GenBatch campaign's errors
+// use the recorded Faults directly (see RNGState).
 func (e *TrialError) Replay(cfg Config, schemes []Scheme) (faults []FaultRecord, outs []TrialOutcome, panicked any, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, nil, err
@@ -238,13 +281,15 @@ type campaignSnapshot struct {
 }
 
 // campaignHashInput is what the checkpoint config hash covers: everything
-// that shapes the trial streams and the meaning of the accumulators.
+// that shapes the trial streams and the meaning of the accumulators. Gen is
+// omitted when scalar so every pre-batch checkpoint hash stays valid.
 type campaignHashInput struct {
 	Config    Config   `json:"config"`
 	Schemes   []string `json:"schemes"`
 	Trials    int      `json:"trials"`
 	Seed      uint64   `json:"seed"`
 	ChunkSize int      `json:"chunk_size"`
+	Gen       string   `json:"gen,omitempty"`
 }
 
 // engine is the shared state of one RunCampaign invocation.
@@ -342,6 +387,9 @@ func newEngine(cfg Config, schemes []Scheme, opts CampaignOptions, needHash bool
 	if opts.Engine, err = ParseEngine(string(opts.Engine)); err != nil {
 		return nil, err
 	}
+	if opts.Gen, err = ParseGenerator(string(opts.Gen)); err != nil {
+		return nil, err
+	}
 
 	e := &engine{
 		cfg:     cfg,
@@ -355,8 +403,13 @@ func newEngine(cfg Config, schemes []Scheme, opts CampaignOptions, needHash bool
 		for i, s := range schemes {
 			names[i] = s.Name()
 		}
+		gen := string(opts.Gen)
+		if opts.Gen == GenScalar {
+			gen = "" // omitempty: pre-batch checkpoint hashes stay valid
+		}
 		e.hash, err = checkpoint.Hash(campaignHashInput{
 			Config: cfg, Schemes: names, Trials: opts.Trials, Seed: opts.Seed, ChunkSize: opts.ChunkSize,
+			Gen: gen,
 		})
 		if err != nil {
 			return nil, err
@@ -456,13 +509,16 @@ func RunCampaign(ctx context.Context, cfg Config, schemes []Scheme, opts Campaig
 
 // worker pulls chunk indices until the queue drains or ctx cancels.
 func (e *engine) worker(ctx context.Context) {
-	w := newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years, e.opts.Engine)
+	w := newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years, e.opts.Engine, e.opts.Gen)
 	// Per-trial evaluation counter: a single nil-safe atomic add on the
 	// non-empty-trial path (nil registry → nil counter → no-op).
 	w.ev.SetTrialCounter(e.opts.Metrics.Counter("campaign.trials_evaluated"))
 	if w.lv != nil {
 		w.lv.SetCounters(e.opts.Metrics.Counter("campaign.lane_batches"),
 			e.opts.Metrics.Counter("campaign.lane_probes"))
+	}
+	if w.bg != nil {
+		w.bg.setMetrics(e.opts.Metrics)
 	}
 	for {
 		if ctx.Err() != nil {
@@ -513,8 +569,13 @@ func (e *engine) merge(c int, w *campaignWorker) bool {
 		e.accum[s].Failures += w.total[s]
 		e.accum[s].DUEs += w.dues[s]
 		e.accum[s].SDCs += w.sdcs[s]
+		// The worker tallies first-failure year buckets (one increment per
+		// failure, off the hot path's cumulative inner loop); the prefix sum
+		// here restores the accumulator's cumulative-by-year semantics.
+		var run uint64
 		for y := 0; y < e.years; y++ {
-			e.accum[s].ByYear[y] += w.failures[s][y]
+			run += w.failures[s][y]
+			e.accum[s].ByYear[y] += run
 		}
 	}
 	lo, hi := e.chunkBounds(c)
@@ -671,21 +732,23 @@ func (e *engine) reportLocked() *Report {
 // campaignWorker holds one goroutine's reusable trial state plus the
 // current chunk's tallies. Nothing here allocates per trial.
 type campaignWorker struct {
-	cfg    *Config
-	seed   uint64
-	years  int
-	engine Engine
-	ev     *Evaluator
-	lv     *LaneEvaluator // non-nil iff engine == EngineLanes
-	batch  LaneBatch
-	gen    *generator
-	rng    *simrand.Source
-	fast   bool
-	buf    []FaultRecord
-	outs   []TrialOutcome
+	cfg     *Config
+	seed    uint64
+	years   int
+	engine  Engine
+	genMode Generator
+	ev      *Evaluator
+	lv      *LaneEvaluator // non-nil iff engine == EngineLanes
+	batch   LaneBatch
+	gen     *generator
+	bg      *batchGenerator // non-nil iff genMode == GenBatch
+	rng     *simrand.Source
+	fast    bool
+	buf     []FaultRecord
+	outs    []TrialOutcome
 
 	chunk    int
-	failures [][]uint64 // [scheme][year] cumulative, this chunk
+	failures [][]uint64 // [scheme][year] first-failure buckets, this chunk; merge folds them cumulatively
 	total    []uint64
 	dues     []uint64
 	sdcs     []uint64
@@ -693,19 +756,22 @@ type campaignWorker struct {
 
 	// Panic-recovery bookkeeping, written just before each evaluation so a
 	// single span-level recover (rather than a per-trial defer) can attribute
-	// the panic to the right trial. See runSpan.
+	// the panic to the right trial. See runSpan. bi is the batch-plan resume
+	// cursor (emitted-trial index), used only by runBatchSpan.
 	t      int
+	bi     int
 	st     simrand.State
 	inEval bool
 }
 
-func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int, engine Engine) *campaignWorker {
+func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int, engine Engine, genMode Generator) *campaignWorker {
 	w := &campaignWorker{
-		cfg:    cfg,
-		seed:   seed,
-		years:  years,
-		engine: engine,
-		rng:    simrand.New(0),
+		cfg:     cfg,
+		seed:    seed,
+		years:   years,
+		engine:  engine,
+		genMode: genMode,
+		rng:     simrand.New(0),
 	}
 	// Every engine judges through (or falls back to) the same Evaluator,
 	// and generation is always filtered by its classLive so the trial
@@ -715,6 +781,9 @@ func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int, en
 		w.lv = NewLaneEvaluator(w.ev)
 	}
 	w.gen = newRunGenerator(cfg, w.ev)
+	if genMode == GenBatch {
+		w.bg = newBatchGenerator(w.gen)
+	}
 	w.fast = w.ev.EmptyTrialsSurvive()
 	w.failures = make([][]uint64, len(schemes))
 	for s := range w.failures {
@@ -740,6 +809,9 @@ func (w *campaignWorker) runChunk(ctx context.Context, c, lo, hi int) bool {
 	w.rng.SeedStream(w.seed, uint64(c))
 	w.gen.resetEvents()
 
+	if w.genMode == GenBatch {
+		return w.runBatchChunk(ctx, lo, hi)
+	}
 	if w.engine == EngineLanes {
 		return w.runLaneChunk(ctx, lo, hi)
 	}
@@ -837,23 +909,17 @@ func (w *campaignWorker) flushBatch() {
 	lv.EvaluateBatch(b)
 	valid := b.activeMask() &^ b.voided
 	for s := range w.total {
-		for m := lv.fail[s] & valid; m != 0; m &= m - 1 {
+		fm := lv.fail[s] & valid
+		w.total[s] += uint64(bits.OnesCount64(fm))
+		w.dues[s] += uint64(bits.OnesCount64(lv.due[s] & valid))
+		w.sdcs[s] += uint64(bits.OnesCount64(lv.sdc[s] & valid))
+		for m := fm; m != 0; m &= m - 1 {
 			L := bits.TrailingZeros64(m)
-			out := &lv.outs[s*LaneWidth+L]
-			w.total[s]++
-			switch out.Kind {
-			case FailDUE:
-				w.dues[s]++
-			case FailSDC:
-				w.sdcs[s]++
-			}
-			yr := int(out.FailTime / HoursPerYear)
+			yr := int(lv.outs[s*LaneWidth+L].FailTime * invHoursPerYear)
 			if yr >= w.years {
 				yr = w.years - 1
 			}
-			for y := yr; y < w.years; y++ {
-				w.failures[s][y]++
-			}
+			w.failures[s][yr]++
 		}
 	}
 	for m := b.voided; m != 0; m &= m - 1 {
@@ -970,12 +1036,10 @@ func (w *campaignWorker) tally() {
 		case FailSDC:
 			w.sdcs[s]++
 		}
-		yr := int(ft / HoursPerYear)
+		yr := int(ft * invHoursPerYear)
 		if yr >= w.years {
 			yr = w.years - 1
 		}
-		for y := yr; y < w.years; y++ {
-			w.failures[s][y]++
-		}
+		w.failures[s][yr]++
 	}
 }

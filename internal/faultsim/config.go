@@ -10,6 +10,13 @@ import (
 // HoursPerYear uses the Julian year, matching FaultSim's convention.
 const HoursPerYear = 8766.0
 
+// invHoursPerYear turns the per-failure year bucketing into a multiply.
+// Every tally site must use the same expression: multiply and divide can
+// round a boundary-straddling FailTime into different years, and the
+// cross-engine/cross-generator bit-identity guarantees compare bucketed
+// tallies.
+const invHoursPerYear = 1 / HoursPerYear
+
 // Config describes the simulated memory system and fault environment. The
 // defaults reproduce §III of the paper: 4 channels of dual-ranked 4GB
 // DIMMs built from 2Gb x8 chips (9 per rank including the ECC chip),

@@ -55,12 +55,15 @@ type ChunkResult struct {
 }
 
 // CampaignHash returns the config hash guarding checkpoint compatibility
-// for a campaign shaped by (cfg, schemes, Trials, Seed, ChunkSize) — the
-// same hash RunCampaign stamps into snapshots. Distributed deployments use
-// it as the job identity: two submissions hashing equal are the same
+// for a campaign shaped by (cfg, schemes, Trials, Seed, ChunkSize, Gen) —
+// the same hash RunCampaign stamps into snapshots. Distributed deployments
+// use it as the job identity: two submissions hashing equal are the same
 // campaign and produce bit-identical results, so a completed result can be
 // served from cache. The evaluation Engine is deliberately excluded
-// (engines are bit-identical by construction).
+// (engines are bit-identical by construction); the Generator is included
+// (the batch generator consumes the substreams in a different order, so
+// its results — exactly distributed but not bit-identical — are a distinct
+// campaign identity).
 func CampaignHash(cfg Config, schemes []Scheme, opts CampaignOptions) (string, error) {
 	e, err := newEngine(cfg, schemes, opts, true)
 	if err != nil {
@@ -81,8 +84,8 @@ type ChunkRunner struct {
 }
 
 // NewChunkRunner builds a runner for the campaign shaped by (cfg, schemes,
-// opts). Only Trials, Seed, ChunkSize, Engine and ErrorBudget of opts are
-// meaningful here; scheduling fields (Workers, CheckpointPath, OnChunk,
+// opts). Only Trials, Seed, ChunkSize, Engine, Gen and ErrorBudget of opts
+// are meaningful here; scheduling fields (Workers, CheckpointPath, OnChunk,
 // Metrics) belong to the caller's loop.
 func NewChunkRunner(cfg Config, schemes []Scheme, opts CampaignOptions) (*ChunkRunner, error) {
 	e, err := newEngine(cfg, schemes, opts, true)
@@ -91,7 +94,7 @@ func NewChunkRunner(cfg Config, schemes []Scheme, opts CampaignOptions) (*ChunkR
 	}
 	return &ChunkRunner{
 		e: e,
-		w: newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years, e.opts.Engine),
+		w: newCampaignWorker(&e.cfg, e.schemes, e.opts.Seed, e.years, e.opts.Engine, e.opts.Gen),
 	}, nil
 }
 
@@ -127,8 +130,12 @@ func (r *ChunkRunner) RunSpan(ctx context.Context, lo, hi int) (*ChunkResult, er
 			res.Tallies[s].Failures += r.w.total[s]
 			res.Tallies[s].DUEs += r.w.dues[s]
 			res.Tallies[s].SDCs += r.w.sdcs[s]
+			// Worker chunk tallies are first-failure buckets (see
+			// campaignWorker.failures); the wire format stays cumulative.
+			var run uint64
 			for y := range res.Tallies[s].ByYear {
-				res.Tallies[s].ByYear[y] += r.w.failures[s][y]
+				run += r.w.failures[s][y]
+				res.Tallies[s].ByYear[y] += run
 			}
 		}
 		res.Trials += uint64(thi-tlo) - uint64(len(r.w.errs))

@@ -83,14 +83,43 @@ type laneRec struct {
 // campaign right after the generator writes the record, while its fields
 // are cache-hot.
 func digestRecord(r *FaultRecord) laneRec {
+	return digestRecordSig(r, recSig(r))
+}
+
+// digestRecordSig is digestRecord with the signature already in hand: the
+// batch pack loop computes it first for the survivor check and must not
+// pay for it twice. Unlike digestRecord, this body fits the inliner.
+func digestRecordSig(r *FaultRecord, sig int32) laneRec {
 	return laneRec{
 		start:  r.Start,
 		key:    uint64(r.Channel)<<40 ^ uint64(r.Rank)<<32 ^ uint64(r.Chip)<<24 ^ uint64(r.Gran)<<16,
-		sig:    sigOf(r),
+		sig:    sig,
 		ch:     int32(r.Channel),
 		rk:     int32(r.Rank),
-		silent: isSilentRecord(r),
+		silent: r.Silent && r.Gran == dram.GranWord,
 	}
+}
+
+// recSig is sigOf with laneSig fused by hand so the whole signature
+// computation stays within the inliner's budget; the batch pack loop
+// calls it on every single-record trial before deciding whether a full
+// digest is even needed. TestDigestRecordMatchesSigOf pins the
+// equivalence against sigOf.
+func recSig(r *FaultRecord) int32 {
+	if uint(r.Gran) >= uint(dram.NumGranularities) || uint(r.Chip) >= 1<<20 {
+		return -1
+	}
+	s := int32(r.Gran) * 8
+	if r.Transient {
+		s |= 1
+	}
+	if r.Silent {
+		s |= 2
+	}
+	if r.EscalatedByScaling {
+		s |= 4
+	}
+	return int32(r.Chip)*int32(laneNSig) + s
 }
 
 // laneEventHash completes eventHash from a laneRec digest: the key holds
@@ -153,9 +182,29 @@ func (b *LaneBatch) Add(trial int, state simrand.State, faults []FaultRecord) {
 // lane, digesting each into its laneRec. The campaign engine generates
 // directly into b.recs and commits; external callers go through Add.
 func (b *LaneBatch) commit(trial int, state simrand.State) {
-	for ri := int(b.offs[b.lanes]); ri < len(b.recs); ri++ {
-		b.lrs = append(b.lrs, digestRecord(&b.recs[ri]))
+	b.digestFrom(int(b.offs[b.lanes]))
+	b.commitDigested(trial, state)
+}
+
+// digestFrom extends lrs with digests for recs[n0:], leaving lrs and recs
+// the same length. The batch generator calls it right after emitting a
+// trial, while the records are still cache-hot.
+func (b *LaneBatch) digestFrom(n0 int) {
+	hi := len(b.recs)
+	if cap(b.lrs) < hi {
+		b.lrs = append(b.lrs[:len(b.lrs)], make([]laneRec, hi-len(b.lrs))...)
 	}
+	lrs := b.lrs[:hi]
+	recs := b.recs[:hi]
+	for ri := n0; ri < hi; ri++ {
+		lrs[ri] = digestRecord(&recs[ri])
+	}
+	b.lrs = lrs
+}
+
+// commitDigested seals a lane whose records are already digested
+// (len(lrs) == len(recs)); commit is digestFrom + commitDigested.
+func (b *LaneBatch) commitDigested(trial int, state simrand.State) {
 	b.trial[b.lanes] = trial
 	b.state[b.lanes] = state
 	b.lanes++
@@ -240,6 +289,16 @@ type laneScheme struct {
 	// computing laneEventHash or making the indirect kind call.
 	hashFree  bool
 	constKind FailKind
+
+	// noPair marks hashFree schemes whose weight table holds no partial
+	// (code 1) entries: every weighted record is already overweight, so
+	// two weighted records meeting in a domain cannot tell the scheme
+	// anything a single one would not — the lane's verdict is its earliest
+	// overweight record either way, and the constant kind ignores
+	// concurrency. Such schemes skip the pair-triggered scalar probe
+	// entirely; at stock rates this removes most probes (NonECC and XED
+	// weight every visible record with zero capacity).
+	noPair bool
 }
 
 // LaneEvaluator judges LaneBatches against the schemes of its Evaluator.
@@ -264,6 +323,12 @@ type LaneEvaluator struct {
 	// multiply hoisted out of the mask pass).
 	codes   [][]uint64
 	ovBytes [][]uint8
+	// ovAny[sig] ORs ovBytes across groups: zero means the signature is
+	// overweight for no scheme at all, so a single-record lane with it
+	// provably survives everything (see singleSurvives). allDomain is true
+	// when every scheme is a domain scheme (no per-lane opaque judging).
+	ovAny     []uint8
+	allDomain bool
 
 	// overSlots[g][L] is the mask-pass scratch for single-record lanes:
 	// bit k set means lane L's record is overweight for slots[g][k]. The
@@ -279,17 +344,17 @@ type LaneEvaluator struct {
 	// schemes outs is written for every live lane.
 	fail []uint64
 	outs []TrialOutcome
+	// due/sdc split fail by outcome kind (a failing lane with some other
+	// kind sets neither), so the campaign tallies DUEs and SDCs as
+	// popcounts instead of walking outs per failing lane.
+	due []uint64
+	sdc []uint64
 
 	// scalar is the lane mask forced wholesale onto the scalar path:
 	// lanes holding a record outside the digest envelope (signature or
 	// channel/rank beyond the configured fleet — hand-built or foreign
 	// streams only; the generator cannot produce them).
 	scalar uint64
-
-	// recHash memoises eventHash per batch record so a record failing
-	// several schemes is hashed once. Zero means "not yet computed";
-	// a genuine zero hash is merely recomputed, never wrong.
-	recHash []float64
 
 	// Instrumentation (nil-safe): batches judged, lanes probed scalar.
 	batches *obs.Counter
@@ -343,14 +408,56 @@ func NewLaneEvaluator(ev *Evaluator) *LaneEvaluator {
 		for s, vec := range tab {
 			ovb[s] = uint8((vec & laneOver >> 1 * laneGather) >> 56)
 		}
+		for k := 0; k < laneVecGroup && sl[k] != nil; k++ {
+			if !sl[k].hashFree {
+				continue
+			}
+			partial := false
+			for _, vec := range tab {
+				if vec>>(8*uint(k))&0xff == 1 {
+					partial = true
+					break
+				}
+			}
+			sl[k].noPair = !partial
+		}
 		lv.codes = append(lv.codes, tab)
 		lv.ovBytes = append(lv.ovBytes, ovb)
 		lv.slots = append(lv.slots, sl)
 		lv.overSlots = append(lv.overSlots, [LaneWidth]uint8{})
 	}
+	lv.allDomain = len(lv.dsIdx) == len(lv.ls)
+	if len(lv.ovBytes) > 0 {
+		lv.ovAny = make([]uint8, ncodes)
+		for _, ovb := range lv.ovBytes {
+			for s, v := range ovb {
+				lv.ovAny[s] |= v
+			}
+		}
+	}
 	lv.fail = make([]uint64, len(lv.ls))
 	lv.outs = make([]TrialOutcome, len(lv.ls)*LaneWidth)
+	lv.due = make([]uint64, len(lv.ls))
+	lv.sdc = make([]uint64, len(lv.ls))
 	return lv
+}
+
+// singleSurvives reports whether a trial consisting of exactly one
+// record with signature sig (as computed by recSig) provably survives
+// every scheme, letting the batch pack loop drop the lane before it is
+// digested, judged or tallied. The proof is the mask pass's own
+// single-record argument run in reverse: a lone record can never pair,
+// so a domain scheme fails the lane only if the record is overweight,
+// and for in-envelope signatures (sig >= 0) ovAny==0 says it is
+// overweight for none of them (channel/rank bounds are irrelevant to
+// single-record verdicts — no domain bucketing happens). Opaque schemes
+// judge every lane individually and birthtime-scaling fatality fails
+// whole batches, so either disables the skip.
+func (lv *LaneEvaluator) singleSurvives(sig int32) bool {
+	if !lv.allDomain || lv.ev.scalingFatal {
+		return false
+	}
+	return uint64(sig) < uint64(len(lv.ovAny)) && lv.ovAny[sig] == 0
 }
 
 // buildWeightCodes tabulates ds.weight over every (chip position, fault
@@ -418,6 +525,7 @@ func (lv *LaneEvaluator) EvaluateBatch(b *LaneBatch) {
 				continue
 			}
 			lv.fail[si] = active
+			lv.due[si], lv.sdc[si] = 0, active
 			for L := 0; L < b.lanes; L++ {
 				lv.outs[si*LaneWidth+L] = TrialOutcome{FailTime: 0, Kind: FailSDC}
 			}
@@ -458,7 +566,13 @@ func (lv *LaneEvaluator) EvaluateBatch(b *LaneBatch) {
 	for _, si := range lv.dsIdx {
 		ls := &lv.ls[si]
 		lv.fail[si] = 0
-		ls.need = (ls.pair | lv.scalar) & active
+		lv.due[si], lv.sdc[si] = 0, 0
+		ls.need = lv.scalar & active
+		if !ls.noPair {
+			// noPair schemes resolve paired lanes in the direct pass:
+			// their earliest overweight record is the exact verdict.
+			ls.need |= ls.pair & active
+		}
 		needAll |= ls.need
 		lv.probes.Add(uint64(bits.OnesCount64(ls.need)))
 	}
@@ -492,6 +606,12 @@ func (lv *LaneEvaluator) EvaluateBatch(b *LaneBatch) {
 				}
 				outs[L] = TrialOutcome{FailTime: b.lrs[ri].start, Kind: ck}
 			}
+			switch ck {
+			case FailDUE:
+				lv.due[si] |= direct
+			case FailSDC:
+				lv.sdc[si] |= direct
+			}
 			lv.fail[si] = fm
 			continue
 		}
@@ -503,12 +623,17 @@ func (lv *LaneEvaluator) EvaluateBatch(b *LaneBatch) {
 				ri = ls.overRec[L]
 			}
 			lr := &b.lrs[ri]
-			h := lv.recHash[ri]
-			if h == 0 {
-				h = laneEventHash(lr)
-				lv.recHash[ri] = h
+			// laneEventHash is two multiplies and a subtract — cheaper to
+			// recompute per scheme than to memoise (only SECDED hashes at
+			// volume; the chipkill variants' direct masks are tiny).
+			k := kind(b2i(lr.silent), 1, laneEventHash(lr))
+			switch k {
+			case FailDUE:
+				lv.due[si] |= 1 << uint(L)
+			case FailSDC:
+				lv.sdc[si] |= 1 << uint(L)
 			}
-			outs[L] = TrialOutcome{FailTime: lr.start, Kind: kind(b2i(lr.silent), 1, h)}
+			outs[L] = TrialOutcome{FailTime: lr.start, Kind: k}
 		}
 		lv.fail[si] = fm
 	}
@@ -542,13 +667,6 @@ func (lv *LaneEvaluator) maskPass(b *LaneBatch) {
 	for g := range lv.overSlots {
 		clear(lv.overSlots[g][:])
 	}
-	if cap(lv.recHash) < len(b.recs) {
-		lv.recHash = make([]float64, len(b.recs))
-	} else {
-		lv.recHash = lv.recHash[:len(b.recs)]
-		clear(lv.recHash)
-	}
-
 	lrs := b.lrs
 	urpc, unch := uint32(rpc), uint32(nch)
 	var scalar uint64
@@ -686,6 +804,12 @@ func (lv *LaneEvaluator) probeLane(b *LaneBatch, L int) {
 		out := lv.ev.evalDomainPrepared(ls.ds, faults)
 		if !math.IsInf(out.FailTime, 1) {
 			lv.fail[si] |= bit
+			switch out.Kind {
+			case FailDUE:
+				lv.due[si] |= bit
+			case FailSDC:
+				lv.sdc[si] |= bit
+			}
 			lv.outs[si*LaneWidth+L] = out
 		}
 	}
@@ -697,6 +821,7 @@ func (lv *LaneEvaluator) probeLane(b *LaneBatch, L int) {
 // AppendLaneOutcomes must reproduce.
 func (lv *LaneEvaluator) probeGeneric(b *LaneBatch, si int) {
 	lv.fail[si] = 0
+	lv.due[si], lv.sdc[si] = 0, 0
 	lv.probes.Add(uint64(b.lanes))
 	for L := 0; L < b.lanes; L++ {
 		if b.voided&(1<<uint(L)) != 0 {
@@ -718,6 +843,12 @@ func (lv *LaneEvaluator) probeGenericLane(b *LaneBatch, si, L int) {
 	lv.outs[si*LaneWidth+L] = out
 	if !math.IsInf(out.FailTime, 1) {
 		lv.fail[si] |= 1 << uint(L)
+		switch out.Kind {
+		case FailDUE:
+			lv.due[si] |= 1 << uint(L)
+		case FailSDC:
+			lv.sdc[si] |= 1 << uint(L)
+		}
 	}
 }
 

@@ -363,3 +363,24 @@ func TestLaneEventHashMatches(t *testing.T) {
 		}
 	}
 }
+
+// TestDigestRecordMatchesSigOf pins digestRecord's hand-fused signature
+// against sigOf: the two must agree on every record, including the
+// out-of-envelope granularities and chip positions that map to -1.
+func TestDigestRecordMatchesSigOf(t *testing.T) {
+	rng := simrand.New(7)
+	for i := 0; i < 50_000; i++ {
+		r := FaultRecord{
+			Channel:            int(rng.Uint64n(8)),
+			Rank:               int(rng.Uint64n(4)),
+			Chip:               int(rng.Uint64n(1<<21)) - 4, // straddles both sigOf caps
+			Gran:               dram.Granularity(rng.Uint64n(uint64(dram.NumGranularities) + 2)),
+			Transient:          rng.Uint64n(2) == 0,
+			Silent:             rng.Uint64n(2) == 0,
+			EscalatedByScaling: rng.Uint64n(2) == 0,
+		}
+		if got, want := digestRecord(&r).sig, sigOf(&r); got != want {
+			t.Fatalf("record %+v: digestRecord sig %d != sigOf %d", r, got, want)
+		}
+	}
+}

@@ -244,11 +244,23 @@ func (g *generator) emit(rng *simrand.Source, buf []FaultRecord, cls ClassRate) 
 	return g.emitAt(rng, buf, cls, rng.Float64()*g.cfg.LifetimeHours)
 }
 
-// emitAt emits one fault with a fixed onset time. Records are constructed
-// in place in buf's grown tail; the FaultRecord struct is large enough
-// (~30% of generation time went to copying it) that building a local and
-// appending shows up in profiles.
+// emitAt emits one fault with a fixed onset time: it draws the record's
+// geometry and hands off to emitPlaced. The batch generator (batchgen.go)
+// reaches emitPlaced directly with geometry read from its chunk columns.
 func (g *generator) emitAt(rng *simrand.Source, buf []FaultRecord, cls ClassRate, start float64) []FaultRecord {
+	ch := g.chSamp.Sample(rng)
+	rank := g.rankSamp.Sample(rng)
+	chip := g.chipSamp.Sample(rng)
+	return g.emitPlaced(rng, buf, cls, start, ch, rank, chip)
+}
+
+// emitPlaced emits one fault whose onset and geometry are already drawn.
+// Records are constructed in place in buf's grown tail; the FaultRecord
+// struct is large enough (~30% of generation time went to copying it) that
+// building a local and appending shows up in profiles. The remaining
+// conditional draws (address range, silent-word, scaling escalation) stay
+// scalar in both generation modes, in this order.
+func (g *generator) emitPlaced(rng *simrand.Source, buf []FaultRecord, cls ClassRate, start float64, ch, rank, chip int) []FaultRecord {
 	cfg := g.cfg
 	end := cfg.LifetimeHours
 	if cls.Transient {
@@ -261,9 +273,9 @@ func (g *generator) emitAt(rng *simrand.Source, buf []FaultRecord, cls ClassRate
 	}
 	buf = append(buf, FaultRecord{})
 	r := &buf[len(buf)-1]
-	r.Channel = g.chSamp.Sample(rng)
-	r.Rank = g.rankSamp.Sample(rng)
-	r.Chip = g.chipSamp.Sample(rng)
+	r.Channel = ch
+	r.Rank = rank
+	r.Chip = chip
 	r.Start, r.End = start, end
 	r.Gran, r.Transient = cls.Gran, cls.Transient
 	if g.withRanges {
@@ -281,9 +293,9 @@ func (g *generator) emitAt(rng *simrand.Source, buf []FaultRecord, cls ClassRate
 		g.nextEvent++
 		r.EventID = g.nextEvent
 		r.Rank = 0
-		for rank := 1; rank < cfg.RanksPerChannel; rank++ {
-			buf = append(buf, buf[len(buf)-rank])
-			buf[len(buf)-1].Rank = rank
+		for rk := 1; rk < cfg.RanksPerChannel; rk++ {
+			buf = append(buf, buf[len(buf)-rk])
+			buf[len(buf)-1].Rank = rk
 		}
 		return buf
 	}

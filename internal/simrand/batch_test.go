@@ -1,0 +1,271 @@
+package simrand
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestFillUint64MatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		a, b := New(uint64(n)+3), New(uint64(n)+3)
+		got := make([]uint64, n)
+		a.FillUint64(got)
+		for i, v := range got {
+			if want := b.Uint64(); v != want {
+				t.Fatalf("n=%d: FillUint64[%d] = %#x, sequential Uint64 = %#x", n, i, v, want)
+			}
+		}
+		// The fill must leave the generator at the same point.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: state diverged after fill", n)
+		}
+	}
+}
+
+func TestFillFloat64MatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 13, 512} {
+		a, b := New(uint64(n)+11), New(uint64(n)+11)
+		got := make([]float64, n)
+		a.FillFloat64(got)
+		for i, v := range got {
+			if want := b.Float64(); v != want {
+				t.Fatalf("n=%d: FillFloat64[%d] = %v, sequential Float64 = %v", n, i, v, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: state diverged after fill", n)
+		}
+	}
+}
+
+// intnFillReference implements Fill's documented canonical draw order with
+// plain scalar code: one bulk word column, then redraws for rejected slots
+// in ascending index order.
+func intnFillReference(g *IntnSampler, s *Source, n int) []int32 {
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = s.Uint64()
+	}
+	dst := make([]int32, n)
+	for i, v := range words {
+		if g.mask != 0 || g.n == 1 {
+			dst[i] = int32(v & g.mask)
+			continue
+		}
+		for {
+			hi, lo := bits.Mul64(v, g.n)
+			if lo >= g.threshold {
+				dst[i] = int32(hi)
+				break
+			}
+			v = s.Uint64()
+		}
+	}
+	return dst
+}
+
+func TestIntnFillMatchesReference(t *testing.T) {
+	// 9 and 72 are the Lemire path (9 = ChipsPerRank in the paper config);
+	// 1, 4 and 8 the mask path. Real thresholds for small n reject ~never,
+	// so a forged ~50% threshold (same constants on both sides) makes the
+	// redraw loop actually run.
+	for _, tc := range []struct {
+		n         uint64
+		threshold uint64
+	}{{1, 0}, {4, 0}, {8, 0}, {9, 0}, {72, 0}, {9, 1 << 63}} {
+		n := tc.n
+		g := IntnSampler{n: n}
+		if tc.threshold != 0 {
+			g.threshold = tc.threshold
+		} else if n&(n-1) == 0 {
+			g.mask = n - 1
+		} else {
+			g.threshold = -n % n
+		}
+		a, b := New(n), New(n)
+		const cnt = 200
+		got := make([]int32, cnt)
+		g.Fill(a, got, make([]uint64, cnt))
+		want := intnFillReference(&g, b, cnt)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: Fill[%d] = %d, reference = %d", n, i, got[i], want[i])
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: state diverged after fill", n)
+		}
+		for i, v := range got {
+			if uint64(v) >= n {
+				t.Fatalf("n=%d: Fill[%d] = %d out of range", n, i, v)
+			}
+		}
+	}
+}
+
+func TestIntnFillMatchesSamplerConstants(t *testing.T) {
+	// NewIntnSampler's constants drive both Sample and Fill; a mask/Lemire
+	// disagreement between the two would skew every geometry column.
+	for _, n := range []int{1, 2, 3, 4, 9, 18, 72} {
+		g := NewIntnSampler(n)
+		a, b := New(uint64(n)*77), New(uint64(n)*77)
+		got := make([]int32, 300)
+		g.Fill(a, got, make([]uint64, 300))
+		want := intnFillReference(&g, b, 300)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: Fill[%d] = %d, reference = %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWeightedLookupMatchesSample(t *testing.T) {
+	w := NewWeightedSampler([]float64{14.2, 1.4, 1.4, 0.2, 5.0, 0.8, 0.3, 0.9})
+	u, s := New(5), New(5)
+	for i := 0; i < 10000; i++ {
+		if got, want := w.Lookup(u.Float64()), w.Sample(s); got != want {
+			t.Fatalf("draw %d: Lookup = %d, Sample = %d", i, got, want)
+		}
+	}
+}
+
+func TestTruncPoissonLookupMatchesLinearScan(t *testing.T) {
+	linear := func(tp *TruncPoisson, u float64) int {
+		k := 0
+		for k < len(tp.cdf) && u >= tp.cdf[k] {
+			k++
+		}
+		if k < len(tp.cdf) {
+			return k + 1
+		}
+		u -= tp.cdf[len(tp.cdf)-1]
+		k = len(tp.cdf) + 1
+		pk := tp.tailPmf
+		for {
+			u -= pk
+			if u < 0 || pk == 0 {
+				return k
+			}
+			k++
+			pk *= tp.p.mean / float64(k)
+		}
+	}
+	for _, mean := range []float64{1e-6, 1e-3, 0.29, 1, 3.7, 15, 29.9} {
+		tp := NewTruncPoisson(mean)
+		if len(tp.cdf) == 0 {
+			t.Fatalf("mean=%v: no CDF built", mean)
+		}
+		s := New(uint64(mean*1e6) + 1)
+		for i := 0; i < 20000; i++ {
+			u := s.Float64()
+			if got, want := tp.Lookup(u), linear(&tp, u); got != want {
+				t.Fatalf("mean=%v u=%v: guide Lookup = %d, linear scan = %d", mean, u, got, want)
+			}
+		}
+		// Boundary values: exactly at and one ulp below each CDF entry.
+		for i, c := range tp.cdf {
+			for _, u := range []float64{math.Nextafter(c, 0), c} {
+				if u < 0 || u >= 1 {
+					continue
+				}
+				if got, want := tp.Lookup(u), linear(&tp, u); got != want {
+					t.Fatalf("mean=%v cdf[%d] boundary u=%v: Lookup = %d, linear = %d", mean, i, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTruncPoissonMatchesSamplePositiveLaw(t *testing.T) {
+	// The guide-table inversion and SamplePositive's subtractive walk must
+	// agree in distribution (they are not uniform-for-uniform identical).
+	// Compare per-value frequencies at ~6 sigma over a deterministic run.
+	for _, mean := range []float64{0.29, 3.0, 35} {
+		tp := NewTruncPoisson(mean)
+		ps := NewPoissonSampler(mean)
+		const n = 200000
+		a, b := New(101), New(202)
+		countsA := map[int]int{}
+		countsB := map[int]int{}
+		for i := 0; i < n; i++ {
+			countsA[tp.Sample(a)]++
+			countsB[ps.SamplePositive(b)]++
+		}
+		for k := 1; k < 80; k++ {
+			ca, cb := float64(countsA[k]), float64(countsB[k])
+			tol := 6*math.Sqrt(ca+cb+10) + 1
+			if math.Abs(ca-cb) > tol {
+				t.Errorf("mean=%v k=%d: TruncPoisson %v vs SamplePositive %v (tol %v)", mean, k, ca, cb, tol)
+			}
+		}
+		for k := range countsA {
+			if k < 1 {
+				t.Fatalf("mean=%v: TruncPoisson emitted %d < 1", mean, k)
+			}
+		}
+	}
+}
+
+func TestNextPositiveRunsInvariants(t *testing.T) {
+	for _, mean := range []float64{1e-5, 0.01, 0.29, 2.5, 40} {
+		tp := NewTruncPoisson(mean)
+		s := New(uint64(mean*1e4) + 9)
+		var runs []PosRun
+		for chunk := 0; chunk < 200; chunk++ {
+			const budget = 257
+			runs = tp.NextPositiveRuns(s, budget, runs[:0])
+			used := 0
+			for _, r := range runs {
+				if r.Skip < 0 || r.Count < 1 {
+					t.Fatalf("mean=%v: bad run %+v", mean, r)
+				}
+				used += int(r.Skip) + 1
+			}
+			if used > budget {
+				t.Fatalf("mean=%v: runs consume %d > budget %d", mean, used, budget)
+			}
+		}
+	}
+	// Non-positive mean: no runs, no draws.
+	tp := NewTruncPoisson(0)
+	s := New(1)
+	before := s.State()
+	if got := tp.NextPositiveRuns(s, 100, nil); len(got) != 0 {
+		t.Fatalf("mean<=0: got %d runs, want 0", len(got))
+	}
+	if s.State() != before {
+		t.Fatal("mean<=0: NextPositiveRuns consumed randomness")
+	}
+}
+
+func TestNextPositiveRunsLaw(t *testing.T) {
+	// Against the scalar campaign loop's law: the fraction of non-empty
+	// trials is 1-e^-mean and the mean faults per trial is mean. 6-sigma
+	// tolerances on a fixed seed keep this deterministic.
+	for _, mean := range []float64{0.05, 0.29, 1.7} {
+		tp := NewTruncPoisson(mean)
+		s := New(uint64(mean*1e3) + 31)
+		const budget, chunks = 4096, 200
+		total := budget * chunks
+		nonEmpty, faults := 0, 0
+		var runs []PosRun
+		for c := 0; c < chunks; c++ {
+			runs = tp.NextPositiveRuns(s, budget, runs[:0])
+			nonEmpty += len(runs)
+			for _, r := range runs {
+				faults += int(r.Count)
+			}
+		}
+		p := 1 - math.Exp(-mean)
+		wantNonEmpty := p * float64(total)
+		if tol := 6 * math.Sqrt(wantNonEmpty*(1-p)); math.Abs(float64(nonEmpty)-wantNonEmpty) > tol {
+			t.Errorf("mean=%v: %d non-empty trials, want %.0f +/- %.0f", mean, nonEmpty, wantNonEmpty, tol)
+		}
+		wantFaults := mean * float64(total)
+		if tol := 6 * math.Sqrt(wantFaults); math.Abs(float64(faults)-wantFaults) > tol {
+			t.Errorf("mean=%v: %d faults, want %.0f +/- %.0f", mean, faults, wantFaults, tol)
+		}
+	}
+}

@@ -191,9 +191,19 @@ type PoissonSampler struct {
 	// SkipZeros. A table scan replaces a ~50ns math.Log for all but the
 	// q^32 tail of runs.
 	skipPow [skipPowLen]float64
+	// skipGuide[j] = min{k >= 1 : skipPow[k+1] < (j+1)/skipGuideLen}, a
+	// lower bound on SkipZeros' answer for any u in bucket j. At 512
+	// buckets the ~32 threshold crossings each land in one bucket, so for
+	// ~94% of draws the scan exits without iterating — the branch
+	// predictor sees an almost-always-false loop instead of a coin toss —
+	// while the whole table stays resident in eight cache lines.
+	skipGuide [skipGuideLen]uint8
 }
 
-const skipPowLen = 33
+const (
+	skipPowLen   = 33
+	skipGuideLen = 512
+)
 
 // NewPoissonSampler precomputes the sampling constants for the given mean.
 func NewPoissonSampler(mean float64) PoissonSampler {
@@ -207,6 +217,20 @@ func NewPoissonSampler(mean float64) PoissonSampler {
 	p.skipPow[0] = 1
 	for k := 1; k < skipPowLen; k++ {
 		p.skipPow[k] = p.skipPow[k-1] * p.expNegMean
+	}
+	// The bucket threshold (j+1)/skipGuideLen rises with j while skipPow
+	// falls with k, so the guide is non-increasing in j: one backward walk
+	// with a shared cursor builds all buckets in O(skipGuideLen) instead
+	// of rescanning the power table per bucket. Capped at skipPowLen-2 so
+	// the scan's skipPow[k+1] access stays in bounds; a lower start is
+	// always safe (it only adds steps).
+	k := 1
+	for j := skipGuideLen - 1; j >= 0; j-- {
+		thr := float64(j+1) / skipGuideLen
+		for k+1 < skipPowLen-1 && p.skipPow[k+1] >= thr {
+			k++
+		}
+		p.skipGuide[j] = uint8(k)
 	}
 	if mean < 30 {
 		p.small = true
@@ -352,7 +376,11 @@ func (p *PoissonSampler) SkipZeros(s *Source) int {
 		return 0
 	}
 	if u >= p.skipPow[skipPowLen-1] {
-		k := 1
+		// The guide entry is a proven lower bound for every u in its
+		// bucket (u < (j+1)/skipGuideLen), so scanning up from it lands on
+		// exactly the k the full scan from 1 would: skip k iff
+		// q^(k+1) <= u < q^k.
+		k := int(p.skipGuide[int(u*skipGuideLen)])
 		for u < p.skipPow[k+1] {
 			k++
 		}
@@ -467,15 +495,7 @@ func NewWeightedSampler(weights []float64) WeightedSampler {
 
 // Sample draws one index. It costs exactly one uniform.
 func (w *WeightedSampler) Sample(s *Source) int {
-	u := s.Float64() * float64(len(w.prob))
-	i := int(u)
-	if i >= len(w.prob) {
-		i = len(w.prob) - 1
-	}
-	if u-float64(i) < w.prob[i] {
-		return i
-	}
-	return int(w.alias[i])
+	return w.Lookup(s.Float64())
 }
 
 // Bernoulli returns true with probability p.
