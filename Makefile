@@ -70,6 +70,7 @@ fuzz:
 	go test -fuzz=FuzzCode64CRC8 -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
 	go test -fuzz=FuzzCRC8Miscorrection -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
 	go test -fuzz=FuzzRSErasureRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
+	go test -fuzz=FuzzLinearCodeVsHandRolled -fuzztime=$(FUZZTIME) -run='^$$' ./internal/ecc/
 	go test -fuzz=FuzzEvaluatorVsReference -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
 	go test -fuzz=FuzzLaneVsIndexedEvaluator -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
 	go test -fuzz=FuzzBatchGenVsScalar -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/

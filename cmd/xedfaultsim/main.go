@@ -7,6 +7,7 @@
 //	xedfaultsim -experiment fig9   # Single- vs Double-Chipkill vs XED+Chipkill
 //	xedfaultsim -experiment fig10  # same, with scaling faults
 //	xedfaultsim -experiment custom -schemes "XED,Chipkill"
+//	xedfaultsim -experiment fig7 -ondie-code random:7   # measure the silent fraction
 //	xedfaultsim -experiment all
 //
 // Each run prints the probability-of-system-failure curve per year (the
@@ -60,6 +61,7 @@ type cliArgs struct {
 	resume     bool
 	engine     string
 	gen        string
+	ondieCode  string
 }
 
 // validateArgs returns the message usageErr should print, or nil. Range
@@ -102,6 +104,9 @@ func validateArgs(a cliArgs) error {
 	if _, err := faultsim.ParseGenerator(a.gen); err != nil {
 		return err
 	}
+	if _, err := faultsim.ParseOnDieCode(a.ondieCode); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -118,6 +123,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	engine := flag.String("engine", "", "campaign evaluation engine: lanes|indexed|reference (default indexed); results are bit-identical")
 	gen := flag.String("gen", "", "trial-generation mode: scalar|batch (default scalar); batch draws a different exactly-distributed stream")
+	ondieCode := flag.String("ondie-code", "", "measure the silent-word fraction from this on-die code (crc8|hamming|hsiao|random:<seed>) instead of assuming the paper's 0.008")
 	progress := flag.Bool("progress", false, "repaint a one-line live status (trials/s, per-scheme tallies) on stderr")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON")
 	debugAddr := flag.String("debug-addr", "", "serve live metrics and pprof over HTTP on this address (e.g. localhost:6060)")
@@ -135,6 +141,7 @@ func main() {
 		resume:     *resume,
 		engine:     *engine,
 		gen:        *gen,
+		ondieCode:  *ondieCode,
 	}); err != nil {
 		usageErr("%v", err)
 	}
@@ -173,14 +180,15 @@ func main() {
 		os.Exit(1)
 	}
 	opts := runOptions{
-		systems:  *systems,
-		seed:     *seed,
-		scrub:    *scrub,
-		overlap:  *overlap,
-		workers:  *workers,
-		schemes:  customSchemes,
-		metrics:  reg,
-		progress: *progress,
+		systems:   *systems,
+		seed:      *seed,
+		scrub:     *scrub,
+		overlap:   *overlap,
+		workers:   *workers,
+		ondieCode: *ondieCode,
+		schemes:   customSchemes,
+		metrics:   reg,
+		progress:  *progress,
 		campaign: faultsim.CampaignOptions{
 			CheckpointPath:     *ckptPath,
 			CheckpointInterval: *ckptEvery,
@@ -239,15 +247,16 @@ func splitTrim(s string) []string {
 }
 
 type runOptions struct {
-	systems  int
-	seed     uint64
-	scrub    float64
-	overlap  bool
-	workers  int
-	schemes  []faultsim.Scheme // custom experiment only
-	metrics  *obs.Registry     // nil unless -progress/-metrics-json/-debug-addr
-	progress bool
-	campaign faultsim.CampaignOptions
+	systems   int
+	seed      uint64
+	scrub     float64
+	overlap   bool
+	workers   int
+	ondieCode string            // non-empty: measure SilentWordFraction from this code
+	schemes   []faultsim.Scheme // custom experiment only
+	metrics   *obs.Registry     // nil unless -progress/-metrics-json/-debug-addr
+	progress  bool
+	campaign  faultsim.CampaignOptions
 }
 
 func runExperiment(ctx context.Context, name string, o runOptions) error {
@@ -256,6 +265,18 @@ func runExperiment(ctx context.Context, name string, o runOptions) error {
 		cfg.ScrubIntervalHours = o.scrub
 	}
 	cfg.RequireAddressOverlap = o.overlap
+	if o.ondieCode != "" {
+		// Replace the paper's assumed 0.8% escape rate with one measured
+		// against the selected codec. The measurement is seeded, so
+		// checkpointed campaigns hash and resume consistently.
+		code, err := faultsim.ParseOnDieCode(o.ondieCode)
+		if err != nil {
+			return err
+		}
+		cfg.SilentWordFraction = faultsim.SilentWordFractionFor(code, 200_000, o.seed)
+		fmt.Printf("on-die code %s: measured silent word fraction %.2g (config default %.2g)\n",
+			code.Name(), cfg.SilentWordFraction, faultsim.DefaultConfig().SilentWordFraction)
+	}
 
 	var schemes []faultsim.Scheme
 	var title string

@@ -33,6 +33,8 @@ func TestValidateArgs(t *testing.T) {
 		{"resume without checkpoint", func(a *cliArgs) { a.resume = true }, "-resume"},
 		{"unknown engine", func(a *cliArgs) { a.engine = "warp" }, "engine"},
 		{"unknown generator", func(a *cliArgs) { a.gen = "warp" }, "generat"},
+		{"unknown on-die code", func(a *cliArgs) { a.ondieCode = "crc16" }, "on-die code"},
+		{"bad random code seed", func(a *cliArgs) { a.ondieCode = "random:x" }, "seed"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,5 +55,14 @@ func TestValidateArgs(t *testing.T) {
 	ok.scrub = 0
 	if err := validateArgs(ok); err != nil {
 		t.Fatalf("-scrub-hours 0 rejected: %v", err)
+	}
+
+	// Every code family is a valid -ondie-code override.
+	for _, spec := range []string{"crc8", "hamming", "hsiao", "random:7"} {
+		a := valid
+		a.ondieCode = spec
+		if err := validateArgs(a); err != nil {
+			t.Errorf("-ondie-code %s rejected: %v", spec, err)
+		}
 	}
 }

@@ -26,6 +26,7 @@ func TestExamplesSmoke(t *testing.T) {
 		{"diagnosis", "final stats:"},
 		{"performance", "the Figure 11 mechanism"},
 		{"doublechipkill", "ALERT_n (extended):"},
+		{"inference", "the BEER/HARP result"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

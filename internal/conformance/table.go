@@ -91,6 +91,10 @@ func PaperClaims() []Claim {
 		// --- differential (randomized, zero-tolerance) ---
 		evaluatorDifferentialClaim(),
 
+		// --- on-die code inference (related work, exhaustive) ---
+		beerRecoveryClaim(),
+		harpProfilingClaim(),
+
 		// --- scheme orderings (statistical, SPRT) ---
 		bandClaim("fig1/secded-within-nonecc-band", "§I Fig. 1",
 			"SECDED's 7-year failure probability is within 1.5x of Non-ECC (On-Die ECC absorbs what SECDED would fix)",

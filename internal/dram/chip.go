@@ -118,6 +118,10 @@ func (c *Chip) ClearTransientFaults() {
 			kept = append(kept, f)
 		}
 	}
+	// Zero the dropped tail: the truncated values stay live in the backing
+	// array otherwise, where they pin memory and can resurface through
+	// slices aliased before the scrub.
+	clear(c.faults[len(kept):])
 	c.faults = kept
 }
 

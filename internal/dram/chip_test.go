@@ -158,6 +158,27 @@ func TestChipClearTransientFaults(t *testing.T) {
 	}
 }
 
+func TestChipClearTransientFaultsZeroesTail(t *testing.T) {
+	// The scrub filters in place; the dropped tail of the backing array
+	// must be zeroed so cleared faults cannot pin memory or resurface
+	// through slices aliased before the scrub.
+	c := newTestChip()
+	a := WordAddr{Bank: 0, Row: 2, Col: 2}
+	c.InjectFault(NewBitFault(a, 1, false))
+	c.InjectFault(NewBitFault(a, 2, true))
+	c.InjectFault(NewBitFault(a, 3, true))
+	backing := c.faults // aliases the backing array the scrub truncates
+	c.ClearTransientFaults()
+	if len(c.faults) != 1 {
+		t.Fatalf("kept %d faults, want 1", len(c.faults))
+	}
+	for i, f := range backing[1:] {
+		if f != (Fault{}) {
+			t.Fatalf("dropped slot %d not zeroed: %+v", i+1, f)
+		}
+	}
+}
+
 func TestChipRowFaultCorruptsWholeRow(t *testing.T) {
 	c := newTestChip()
 	for col := 0; col < 16; col++ {

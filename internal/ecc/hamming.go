@@ -75,7 +75,17 @@ func NewHamming() *Hamming {
 	h.colSyndrome[71] = synOf(72) // overall parity bit: syndrome 0x80
 
 	for i := 0; i < 72; i++ {
-		h.posForSyndrome[h.colSyndrome[i]] = uint8(i + 1)
+		s := h.colSyndrome[i]
+		if s == 0 {
+			panic("hamming: zero column syndrome")
+		}
+		if h.posForSyndrome[s] != 0 {
+			// A silent overwrite here would alias two positions onto one
+			// syndrome and turn a detectable double error into a
+			// miscorrection; fail loudly like NewHsiao and NewCRC8ATM do.
+			panic("hamming: duplicate column syndrome")
+		}
+		h.posForSyndrome[s] = uint8(i + 1)
 	}
 
 	// Byte-sliced encode tables. The check byte of a data word is the

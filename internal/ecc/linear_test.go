@@ -1,0 +1,256 @@
+package ecc
+
+import (
+	"strings"
+	"testing"
+
+	"xedsim/internal/simrand"
+)
+
+// handRolledPairs returns each hand-rolled codec next to a LinearCode64
+// built from its own parity-check matrix; the pairs must be bit-for-bit
+// interchangeable (the tentpole's correctness anchor).
+func handRolledPairs() []struct {
+	name string
+	ref  Code64
+	lin  *LinearCode64
+} {
+	hamming := NewHamming()
+	hsiao := NewHsiao()
+	crc8 := NewCRC8ATM()
+	return []struct {
+		name string
+		ref  Code64
+		lin  *LinearCode64
+	}{
+		{"hamming", hamming, MustLinearCode64("linear-hamming", hamming.Matrix())},
+		{"hsiao", hsiao, MustLinearCode64("linear-hsiao", hsiao.Matrix())},
+		{"crc8", crc8, MustLinearCode64("linear-crc8", crc8.Matrix())},
+	}
+}
+
+func TestLinearMatchesHandRolledExhaustiveErrors(t *testing.T) {
+	for _, p := range handRolledPairs() {
+		t.Run(p.name, func(t *testing.T) {
+			rng := simrand.New(11)
+			for trial := 0; trial < 8; trial++ {
+				v := rng.Uint64()
+				refCW := p.ref.Encode(v)
+				linCW := p.lin.Encode(v)
+				if refCW != linCW {
+					t.Fatalf("Encode(%#x): linear %+v, hand-rolled %+v", v, linCW, refCW)
+				}
+				// All weight-1 and weight-2 error patterns.
+				for i := 0; i < 72; i++ {
+					compareDecode(t, p.ref, p.lin, refCW.FlipBit(i))
+					for j := i + 1; j < 72; j++ {
+						compareDecode(t, p.ref, p.lin, refCW.FlipBit(i).FlipBit(j))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLinearMatchesHandRolledRandomErrors(t *testing.T) {
+	for _, p := range handRolledPairs() {
+		t.Run(p.name, func(t *testing.T) {
+			rng := simrand.New(23)
+			for trial := 0; trial < 20000; trial++ {
+				cw := p.ref.Encode(rng.Uint64()).FlipMask(rng.Uint64(), uint8(rng.Uint64()))
+				compareDecode(t, p.ref, p.lin, cw)
+			}
+		})
+	}
+}
+
+func compareDecode(t *testing.T, ref Code64, lin *LinearCode64, cw Codeword72) {
+	t.Helper()
+	if rv, lv := ref.IsValid(cw), lin.IsValid(cw); rv != lv {
+		t.Fatalf("IsValid(%+v): linear %v, hand-rolled %v", cw, lv, rv)
+	}
+	rd, rs := ref.Decode(cw)
+	ld, ls := lin.Decode(cw)
+	if rd != ld || rs != ls {
+		t.Fatalf("Decode(%+v): linear (%#x, %v), hand-rolled (%#x, %v)", cw, ld, ls, rd, rs)
+	}
+}
+
+func TestLinearRejectsZeroColumn(t *testing.T) {
+	h := NewHsiao().Matrix()
+	h[17] = 0
+	if _, err := NewLinearCode64("bad", h); err == nil || !strings.Contains(err.Error(), "column 17") {
+		t.Fatalf("zero column: err = %v, want mention of column 17", err)
+	}
+}
+
+func TestLinearRejectsDuplicateColumns(t *testing.T) {
+	// The satellite bug: a silent posForSyndrome overwrite would alias two
+	// positions onto one syndrome. The constructor must name both columns
+	// and the shared syndrome.
+	h := NewHsiao().Matrix()
+	h[40] = h[3]
+	_, err := NewLinearCode64("bad", h)
+	if err == nil {
+		t.Fatal("duplicate columns accepted")
+	}
+	for _, want := range []string{"columns 3 and 40", "mis-correct"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestLinearRejectsSingularCheckSubmatrix(t *testing.T) {
+	h := NewHsiao().Matrix()
+	// Replace the first three check columns with 0x03, 0x05 and their sum
+	// 0x06: rank drops to 7 while all 72 columns stay distinct and nonzero
+	// (Hsiao data columns all have odd weight; these are even).
+	h[64], h[65], h[66] = 0x03, 0x05, 0x06
+	_, err := NewLinearCode64("bad", h)
+	if err == nil || !strings.Contains(err.Error(), "singular") {
+		t.Fatalf("singular check submatrix: err = %v, want 'singular'", err)
+	}
+}
+
+func TestLinearParityFunctionals(t *testing.T) {
+	// The classifier must recover each hand-rolled code's discrimination
+	// rule exactly: Hamming gates on the overall-parity syndrome bit
+	// (u = 0x80), Hsiao on syndrome popcount (u = 0xff). CRC8-ATM's
+	// generator is divisible by (x+1), so all codewords have even weight
+	// and a functional exists for it too.
+	cases := []struct {
+		code Code64
+		m    HMatrix72
+		want uint8
+		ok   bool
+	}{
+		{NewHamming(), NewHamming().Matrix(), 0x80, true},
+		{NewHsiao(), NewHsiao().Matrix(), 0xff, true},
+	}
+	for _, c := range cases {
+		lin := MustLinearCode64("t", c.m)
+		if u, ok := lin.ParityFunctional(); ok != c.ok || u != c.want {
+			t.Errorf("%s: parity functional (%#02x, %v), want (%#02x, %v)", c.code.Name(), u, ok, c.want, c.ok)
+		}
+	}
+	crc := MustLinearCode64("t", NewCRC8ATM().Matrix())
+	u, ok := crc.ParityFunctional()
+	if !ok {
+		t.Fatal("CRC8-ATM: no parity functional found")
+	}
+	for i, col := range crc.Matrix() {
+		if popcount8(u&col)%2 != 1 {
+			t.Fatalf("CRC8-ATM: functional %#02x misses column %d (%#02x)", u, i, col)
+		}
+	}
+}
+
+func TestRandomSECDEDDeterministicAndSECDED(t *testing.T) {
+	a := RandomSECDED(simrand.New(99))
+	b := RandomSECDED(simrand.New(99))
+	if a.Name() != b.Name() || a.Matrix() != b.Matrix() {
+		t.Fatal("same seed drew different codes")
+	}
+	if c := RandomSECDED(simrand.New(100)); c.Matrix() == a.Matrix() {
+		t.Fatal("different seeds drew the same code")
+	}
+	if !a.IsSECDED() {
+		t.Fatal("random draw is not SECDED-classifiable")
+	}
+	if u, _ := a.ParityFunctional(); u != 0xff {
+		t.Fatalf("canonical-form draw has functional %#02x, want 0xff", u)
+	}
+}
+
+func TestRandomSECDEDCorrectsAndDetects(t *testing.T) {
+	// The SECDED contract over several draws: every single-bit error is
+	// corrected exactly, every double-bit error is detected (never valid,
+	// never mis-corrected).
+	for seed := uint64(0); seed < 4; seed++ {
+		code := RandomSECDED(simrand.New(seed))
+		v := uint64(0x0123456789abcdef)
+		cw := code.Encode(v)
+		for i := 0; i < 72; i++ {
+			got, st := code.Decode(cw.FlipBit(i))
+			if st != StatusCorrected || got != v {
+				t.Fatalf("%s: single error at %d -> (%#x, %v)", code.Name(), i, got, st)
+			}
+			for j := i + 1; j < 72; j++ {
+				bad := cw.FlipBit(i).FlipBit(j)
+				if code.IsValid(bad) {
+					t.Fatalf("%s: double error (%d,%d) valid", code.Name(), i, j)
+				}
+				if _, st := code.Decode(bad); st != StatusDetected {
+					t.Fatalf("%s: double error (%d,%d) status %v", code.Name(), i, j, st)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalForm(t *testing.T) {
+	// Hsiao and CRC8 already have identity check columns: canonical form
+	// is the identity transform.
+	for _, m := range []HMatrix72{NewHsiao().Matrix(), NewCRC8ATM().Matrix()} {
+		c, err := m.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != m {
+			t.Fatal("canonical form of an already-canonical matrix changed it")
+		}
+	}
+	// Hamming's check columns are not the identity (each carries the
+	// overall-parity row). Canonicalisation must produce identity check
+	// columns while preserving the codeword set.
+	ham := NewHamming()
+	canon, err := ham.Matrix().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 8; a++ {
+		if canon[64+a] != 1<<uint(a) {
+			t.Fatalf("canonical check column %d = %#02x, want %#02x", a, canon[64+a], 1<<uint(a))
+		}
+	}
+	lin := MustLinearCode64("canon-hamming", canon)
+	rng := simrand.New(5)
+	for trial := 0; trial < 5000; trial++ {
+		v := rng.Uint64()
+		if ham.Encode(v) != lin.Encode(v) {
+			t.Fatalf("canonical code encodes %#x differently", v)
+		}
+		cw := ham.Encode(v).FlipMask(rng.Uint64(), uint8(rng.Uint64()))
+		if ham.IsValid(cw) != lin.IsValid(cw) {
+			t.Fatalf("canonical code disagrees on validity of %+v", cw)
+		}
+	}
+}
+
+func TestHMatrixString(t *testing.T) {
+	s := NewHsiao().Matrix().String()
+	if !strings.Contains(s, "|") || !strings.Contains(s, "07") {
+		t.Fatalf("unexpected rendering: %q", s)
+	}
+}
+
+func BenchmarkLinearEncode(b *testing.B) {
+	code := MustLinearCode64("bench", NewHsiao().Matrix())
+	var sink Codeword72
+	for i := 0; i < b.N; i++ {
+		sink = code.Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkLinearDecode(b *testing.B) {
+	code := MustLinearCode64("bench", NewHsiao().Matrix())
+	cw := code.Encode(0xdeadbeefcafebabe)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		v, _ := code.Decode(cw)
+		sink += v
+	}
+	_ = sink
+}

@@ -799,6 +799,10 @@ func newCampaignWorker(cfg *Config, schemes []Scheme, seed uint64, years int, en
 // It returns false if ctx cancelled mid-chunk (tallies must be discarded).
 func (w *campaignWorker) runChunk(ctx context.Context, c, lo, hi int) bool {
 	w.chunk = c
+	// TrialError holds heap references (Faults slice, panic strings);
+	// truncating without clearing would keep every past chunk's worst-case
+	// error payloads reachable through the backing array.
+	clear(w.errs)
 	w.errs = w.errs[:0]
 	for s := range w.total {
 		w.total[s], w.dues[s], w.sdcs[s] = 0, 0, 0

@@ -1,0 +1,69 @@
+package faultsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOnDieCode(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "(72,64) CRC8-ATM"},
+		{"crc8", "(72,64) CRC8-ATM"},
+		{"hamming", "(72,64) Hamming"},
+		{"hsiao", "(72,64) Hsiao"},
+	}
+	for _, c := range cases {
+		code, err := ParseOnDieCode(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if code.Name() != c.want {
+			t.Errorf("%q -> %s, want %s", c.spec, code.Name(), c.want)
+		}
+	}
+	a, err := ParseOnDieCode("random:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ParseOnDieCode("random:42")
+	if a.Name() != b.Name() {
+		t.Error("random:<seed> is not deterministic")
+	}
+	for _, bad := range []string{"crc16", "random:", "random:x", "random:-1"} {
+		if _, err := ParseOnDieCode(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestSilentWordFractionMatchesPaper(t *testing.T) {
+	// The measured CRC8-ATM escape rate must reproduce the 0.8% the
+	// default config hard-codes, tying the abstraction to the real code.
+	code, _ := ParseOnDieCode("crc8")
+	got := SilentWordFractionFor(code, 20000, 1)
+	def := DefaultConfig().SilentWordFraction
+	if got < def*0.5 || got > def*1.5 {
+		t.Fatalf("measured silent fraction %v, config assumes %v", got, def)
+	}
+	cfg := DefaultConfig()
+	cfg.SilentWordFraction = got
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilentWordFractionRandomCodesValid(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		code, err := ParseOnDieCode("random:" + strings.Repeat("1", int(seed)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := SilentWordFractionFor(code, 5000, seed)
+		if f < 0 || f > 1 {
+			t.Fatalf("%s: fraction %v out of range", code.Name(), f)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package infer reverse-engineers a DRAM chip's on-die ECC from the
+// outside, treating the chip as a black box the way BEER (Patel et al.,
+// arXiv:2009.07985) and HARP (Patel et al., arXiv:2109.12697) do — the
+// opposite assumption from XED's pre-agreed catch-word, and the scenario
+// family ROADMAP item 3 opens: what happens when XED-style cooperation
+// meets an unknown, mismatched or adversarial on-die code.
+//
+// Two instruments are provided:
+//
+//   - RecoverHMatrix (BEER-style): craft check-bit-only error patterns
+//     under several data-pattern families, observe which patterns make the
+//     on-die corrector flip a *data* bit, and solve for the parity-check
+//     matrix column by column. The recovered matrix is in canonical
+//     systematic form — the only form identifiable from outside, since
+//     post-correction data reveals which column a syndrome named but never
+//     how the syndrome was spelled.
+//
+//   - ProfileChip (HARP-style): write/read test-pattern rounds over a set
+//     of words and classify each as clean, at-risk (the on-die engine is
+//     actively correcting) or uncorrectable (errors visible past the
+//     on-die engine), predicting where rare-event failures will surface.
+//
+// Both use only what a memory controller can see on the bus: written
+// patterns, read-back data, and (for profiling) the XED catch-word
+// convention. Neither reads the chip's private decode status.
+package infer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/ecc"
+	"xedsim/internal/simrand"
+)
+
+// BEEROptions configures a RecoverHMatrix pass.
+type BEEROptions struct {
+	// Addr is the probe word; the zero address is always valid.
+	Addr dram.WordAddr
+	// Patterns are the data-pattern families each probe sweep runs under.
+	// Nil selects the BEER-style defaults: all-0, all-1, both checkerboards.
+	Patterns []uint64
+	// Rounds adds seeded random data patterns on top of Patterns,
+	// hardening the cross-family consistency check against data-dependent
+	// decoder behaviour. Negative is treated as zero.
+	Rounds int
+	// Seed drives the random patterns.
+	Seed uint64
+}
+
+// defaultPatterns are the classic retention-test backgrounds.
+func defaultPatterns() []uint64 {
+	return []uint64{0, ^uint64(0), 0xAAAAAAAAAAAAAAAA, 0x5555555555555555}
+}
+
+// Probe records one observation that pinned a column: injecting CheckMask
+// into the check bits under Pattern made the on-die corrector flip data
+// bit BitFlipped.
+type Probe struct {
+	CheckMask  uint8
+	Pattern    uint64
+	BitFlipped int
+}
+
+// Evidence summarises a recovery pass for reports and verdict details.
+type Evidence struct {
+	// Probes holds one entry per (column, family) observation that
+	// contributed to the recovered matrix.
+	Probes []Probe
+	// ProbeCount is the total number of error patterns injected.
+	ProbeCount int
+	// Families is the number of data-pattern families swept.
+	Families int
+}
+
+// RecoverHMatrix reverse-engineers the chip's on-die parity-check matrix.
+//
+// The mechanism: for a systematic code, a check-bits-only error with
+// support T has canonical syndrome exactly T (the canonical check columns
+// are the identity). The black-box decoder corrects data bit m on such an
+// error iff canonical data column m equals T. So sweeping every T of
+// weight >= 2 and diffing read-back data against the written pattern reads
+// the canonical matrix out one column per hit: a single-bit diff at data
+// bit m pins column m to T; weight-1 supports are the check columns
+// themselves and never move data. The sweep runs under every data-pattern
+// family and demands identical hits from each — the decoder of a linear
+// code sees only the error, never the data, so any disagreement means the
+// device is not behaving like a linear code.
+//
+// The chip must be quiescent (no resident faults); probes are injected as
+// transient word faults and scrubbed after each read. Only bus-visible
+// data is consulted. The recovered matrix is the canonical form; compare
+// against a known code via ecc.HMatrix72.Canonical.
+func RecoverHMatrix(chip *dram.Chip, opt BEEROptions) (ecc.HMatrix72, *Evidence, error) {
+	var h ecc.HMatrix72
+	if n := len(chip.Faults()); n != 0 {
+		return h, nil, fmt.Errorf("infer: chip has %d resident faults; recovery needs a quiescent device", n)
+	}
+	patterns := opt.Patterns
+	if patterns == nil {
+		patterns = defaultPatterns()
+	}
+	rng := simrand.New(opt.Seed)
+	for i := 0; i < opt.Rounds; i++ {
+		patterns = append(patterns[:len(patterns):len(patterns)], rng.Uint64())
+	}
+	if len(patterns) == 0 {
+		return h, nil, fmt.Errorf("infer: no data-pattern families to probe under")
+	}
+
+	ev := &Evidence{Families: len(patterns)}
+	// colFor[m]+1 is the support pinned to data column m by the first
+	// family; later families must reproduce it exactly.
+	var colFor [64]int
+	for fi, pat := range patterns {
+		chip.Write(opt.Addr, pat)
+		if got, _ := chip.ReadRaw(opt.Addr); got != pat {
+			return h, ev, fmt.Errorf("infer: probe word reads %#x after writing %#x; the word is damaged", got, pat)
+		}
+		var seen [64]int // support hitting data bit m in this family
+		for t := 1; t < 256; t++ {
+			T := uint8(t)
+			if bits.OnesCount8(T) < 2 {
+				continue // weight-1 supports are the identity check columns
+			}
+			chip.InjectFault(dram.NewWordFault(opt.Addr, 0, T, true))
+			got, _ := chip.ReadRaw(opt.Addr)
+			chip.ClearTransientFaults()
+			ev.ProbeCount++
+			diff := got ^ pat
+			if diff == 0 {
+				continue // detected (or check-bit corrected): T names no data column
+			}
+			if diff&(diff-1) != 0 {
+				return h, ev, fmt.Errorf("infer: support %#02x under pattern %#x moved %d data bits; the corrector is not single-bit", T, pat, bits.OnesCount64(diff))
+			}
+			m := bits.TrailingZeros64(diff)
+			if seen[m] != 0 {
+				return h, ev, fmt.Errorf("infer: data bit %d corrected by supports %#02x and %#02x; column syndromes alias", m, uint8(seen[m]-1), T)
+			}
+			seen[m] = int(T) + 1
+			ev.Probes = append(ev.Probes, Probe{CheckMask: T, Pattern: pat, BitFlipped: m})
+		}
+		for m := 0; m < 64; m++ {
+			switch {
+			case fi == 0:
+				colFor[m] = seen[m]
+			case colFor[m] != seen[m]:
+				return h, ev, fmt.Errorf("infer: data bit %d pinned to support %#02x under pattern %#x but %#02x under %#x; behaviour is data-dependent, not a linear code",
+					m, uint8(colFor[m]-1), patterns[0], uint8(seen[m]-1), pat)
+			}
+		}
+	}
+	for m := 0; m < 64; m++ {
+		if colFor[m] == 0 {
+			return h, ev, fmt.Errorf("infer: no check-bit support ever corrected data bit %d; the code is not a systematic single-error corrector over all 64 data bits", m)
+		}
+		h[m] = uint8(colFor[m] - 1)
+	}
+	for a := 0; a < 8; a++ {
+		h[64+a] = 1 << uint(a)
+	}
+	return h, ev, nil
+}
+
+// RecoverCode runs RecoverHMatrix and wraps the result in a working
+// ecc.LinearCode64 equivalent to the chip's on-die code (same codeword
+// set; SECDED decode policy when the recovered matrix supports one).
+func RecoverCode(chip *dram.Chip, opt BEEROptions) (*ecc.LinearCode64, *Evidence, error) {
+	h, ev, err := RecoverHMatrix(chip, opt)
+	if err != nil {
+		return nil, ev, err
+	}
+	code, err := ecc.NewLinearCode64("(72,64) recovered", h)
+	if err != nil {
+		return nil, ev, fmt.Errorf("infer: recovered matrix is not a valid code: %v", err)
+	}
+	return code, ev, nil
+}

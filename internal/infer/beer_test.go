@@ -1,0 +1,157 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/ecc"
+	"xedsim/internal/simrand"
+)
+
+func testGeom() dram.Geometry {
+	return dram.Geometry{Banks: 2, RowsPerBank: 8, ColsPerRow: 4}
+}
+
+func TestRecoverHMatrixKnownCodes(t *testing.T) {
+	// The recovered matrix must equal the true matrix's canonical form,
+	// bit for bit. Hsiao and CRC8 are already canonical (identity check
+	// columns); Hamming is not, so recovery must land on its
+	// canonicalisation rather than the hand-rolled spelling.
+	cases := []struct {
+		name string
+		code ecc.Code64
+		m    ecc.HMatrix72
+	}{
+		{"hsiao", ecc.NewHsiao(), ecc.NewHsiao().Matrix()},
+		{"crc8", ecc.NewCRC8ATM(), ecc.NewCRC8ATM().Matrix()},
+		{"hamming", ecc.NewHamming(), ecc.NewHamming().Matrix()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := c.m.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			chip := dram.NewChip(testGeom(), c.code)
+			got, ev, err := RecoverHMatrix(chip, BEEROptions{Rounds: 2, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("recovered\n %v\nwant\n %v", got, want)
+			}
+			if ev.Families != 6 || ev.ProbeCount != 6*247 {
+				t.Fatalf("evidence: %d families, %d probes", ev.Families, ev.ProbeCount)
+			}
+			// 64 columns pinned per family.
+			if len(ev.Probes) != 6*64 {
+				t.Fatalf("%d pinning probes, want %d", len(ev.Probes), 6*64)
+			}
+		})
+	}
+}
+
+func TestRecoverHMatrixRandomCodes(t *testing.T) {
+	// The tentpole contract: a randomly drawn SECDED code is recovered
+	// exactly. RandomSECDED draws in canonical form, so equality is
+	// direct.
+	for seed := uint64(1); seed <= 8; seed++ {
+		code := ecc.RandomSECDED(simrand.New(seed))
+		chip := dram.NewChip(testGeom(), code)
+		got, _, err := RecoverHMatrix(chip, BEEROptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != code.Matrix() {
+			t.Fatalf("seed %d (%s): recovered matrix differs\n got %v\nwant %v",
+				seed, code.Name(), got, code.Matrix())
+		}
+	}
+}
+
+func TestRecoverCodeRoundTrip(t *testing.T) {
+	// The recovered code must be functionally interchangeable with the
+	// true one: same encodings, same decode outcomes.
+	truth := ecc.RandomSECDED(simrand.New(99))
+	chip := dram.NewChip(testGeom(), truth)
+	code, _, err := RecoverCode(chip, BEEROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(3)
+	for trial := 0; trial < 5000; trial++ {
+		v := rng.Uint64()
+		if code.Encode(v) != truth.Encode(v) {
+			t.Fatalf("recovered code encodes %#x differently", v)
+		}
+		bad := truth.Encode(v).FlipMask(rng.Uint64(), uint8(rng.Uint64()))
+		gd, gs := code.Decode(bad)
+		wd, ws := truth.Decode(bad)
+		if gd != wd || gs != ws {
+			t.Fatalf("recovered code decodes %+v as (%#x, %v), truth (%#x, %v)", bad, gd, gs, wd, ws)
+		}
+	}
+}
+
+func TestRecoverHMatrixRejectsDamagedChip(t *testing.T) {
+	chip := dram.NewChip(testGeom(), ecc.NewCRC8ATM())
+	chip.InjectFault(dram.NewBitFault(dram.WordAddr{}, 5, false))
+	if _, _, err := RecoverHMatrix(chip, BEEROptions{}); err == nil || !strings.Contains(err.Error(), "resident faults") {
+		t.Fatalf("err = %v, want resident-faults refusal", err)
+	}
+}
+
+// brokenCorrector wraps a real code but flips an extra data bit whenever
+// it corrects — a non-single-bit black box the recovery must refuse.
+type brokenCorrector struct{ ecc.Code64 }
+
+func (b brokenCorrector) Decode(cw ecc.Codeword72) (uint64, ecc.DecodeStatus) {
+	data, st := b.Code64.Decode(cw)
+	if st == ecc.StatusCorrected {
+		data ^= 1 << 40
+		if data == cw.Data { // ensure the diff stays multi-bit, not zero
+			data ^= 1 << 41
+		}
+	}
+	return data, st
+}
+
+func TestRecoverHMatrixRejectsNonSingleBitCorrector(t *testing.T) {
+	chip := dram.NewChip(testGeom(), brokenCorrector{ecc.NewHsiao()})
+	_, _, err := RecoverHMatrix(chip, BEEROptions{})
+	if err == nil || !strings.Contains(err.Error(), "not single-bit") {
+		t.Fatalf("err = %v, want non-single-bit refusal", err)
+	}
+}
+
+// secOnly strips the double-error discrimination from a SECDED code by
+// treating every syndrome through the lookup alone — structurally fine,
+// but here wrapped to also miss one data column, which must be reported.
+type columnlessCode struct{ inner *ecc.LinearCode64 }
+
+func (c columnlessCode) Name() string                   { return "columnless" }
+func (c columnlessCode) Encode(d uint64) ecc.Codeword72 { return c.inner.Encode(d) }
+func (c columnlessCode) IsValid(cw ecc.Codeword72) bool { return c.inner.IsValid(cw) }
+func (c columnlessCode) Decode(cw ecc.Codeword72) (uint64, ecc.DecodeStatus) {
+	data, st := c.inner.Decode(cw)
+	if st == ecc.StatusCorrected && data^cw.Data == 1<<17 {
+		return cw.Data, ecc.StatusDetected // refuse to ever correct bit 17
+	}
+	return data, st
+}
+
+func TestRecoverHMatrixReportsMissingColumn(t *testing.T) {
+	chip := dram.NewChip(testGeom(), columnlessCode{ecc.RandomSECDED(simrand.New(5))})
+	_, _, err := RecoverHMatrix(chip, BEEROptions{})
+	if err == nil || !strings.Contains(err.Error(), "data bit 17") {
+		t.Fatalf("err = %v, want missing-column report naming bit 17", err)
+	}
+}
+
+func TestRecoverHMatrixNoPatterns(t *testing.T) {
+	chip := dram.NewChip(testGeom(), ecc.NewHsiao())
+	if _, _, err := RecoverHMatrix(chip, BEEROptions{Patterns: []uint64{}}); err == nil {
+		t.Fatal("empty pattern set accepted")
+	}
+}
