@@ -74,6 +74,7 @@ fuzz:
 	go test -fuzz=FuzzEvaluatorVsReference -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
 	go test -fuzz=FuzzLaneVsIndexedEvaluator -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
 	go test -fuzz=FuzzBatchGenVsScalar -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faultsim/
+	go test -fuzz=FuzzEDACDumpRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fleet/
 
 # Everything CI runs (see .github/workflows/ci.yml), runnable locally.
 ci:

@@ -1,0 +1,275 @@
+// Command xedfleet ages a simulated datacenter DIMM fleet under the
+// paper's Table I field fault rates and reports what a fleet monitor would
+// actually see: per-memory-controller EDAC counters, failure curves,
+// retirement-policy capacity burn and replacement economics.
+//
+//	xedfleet -dimms 100000                         # 100k DIMMs, 7 years, XED
+//	xedfleet -policy on-first-ce                   # retire rows at the first CE
+//	xedfleet -policy harp                          # retire only profiled at-risk rows
+//	xedfleet -edac fleet.edac                      # write the EDAC sysfs dump
+//	xedfleet -dimm 12345                           # one DIMM's regenerated history
+//	xedfleet -checkpoint fleet.ckpt -resume        # continue an interrupted run
+//	xedfleet -debug-addr localhost:6060            # live /metrics and /edac views
+//
+// Results are bit-identical for a fixed (config, -seed, -chunk) at any
+// -workers count, and a -resume'd run reproduces an uninterrupted one
+// exactly; internal/fleet's statistical battery holds both properties.
+// SIGINT/SIGTERM drains workers at chunk boundaries, snapshots progress
+// when -checkpoint is set, prints the partial summary and exits nonzero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xedsim/internal/faultsim"
+	"xedsim/internal/fleet"
+	"xedsim/internal/obs"
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xedfleet: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// cliArgs is the flag-validation surface, separated from flag.Parse so the
+// exit-2 usage convention is unit-testable (see main_test.go).
+type cliArgs struct {
+	dimms     int
+	years     float64
+	scrub     float64
+	workers   int
+	chunk     int
+	dimmsMC   int
+	policy    string
+	scheme    string
+	dimmsHist int
+	ckptPath  string
+	ckptEvery time.Duration
+	resume    bool
+}
+
+// validateArgs returns the message usageErr should print, or nil. Range
+// errors are caught at flag-validation time rather than surfacing later as
+// Config invariant violations.
+func validateArgs(a cliArgs) error {
+	if a.dimms <= 0 {
+		return fmt.Errorf("-dimms must be positive, got %d", a.dimms)
+	}
+	if a.years <= 0 {
+		return fmt.Errorf("-years must be positive, got %v", a.years)
+	}
+	if a.scrub <= 0 {
+		return fmt.Errorf("-scrub-hours must be positive, got %v", a.scrub)
+	}
+	if a.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", a.workers)
+	}
+	if a.chunk < 0 {
+		return fmt.Errorf("-chunk must be >= 0, got %d", a.chunk)
+	}
+	if a.dimmsMC <= 0 {
+		return fmt.Errorf("-dimms-per-mc must be positive, got %d", a.dimmsMC)
+	}
+	if a.ckptEvery <= 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %v", a.ckptEvery)
+	}
+	if _, err := fleet.ParsePolicy(a.policy); err != nil {
+		return err
+	}
+	if a.scheme != "" {
+		if _, err := faultsim.SchemesByName(a.scheme); err != nil {
+			return err
+		}
+	}
+	if a.dimmsHist >= a.dimms {
+		return fmt.Errorf("-dimm %d out of range [0, %d)", a.dimmsHist, a.dimms)
+	}
+	if a.resume && a.ckptPath == "" {
+		return errors.New("-resume needs -checkpoint")
+	}
+	return nil
+}
+
+func main() {
+	dimms := flag.Int("dimms", 10_000, "fleet size in DIMMs")
+	years := flag.Float64("years", 7, "simulated horizon in years")
+	scrub := flag.Float64("scrub-hours", 24*7, "patrol-scrub interval (hours)")
+	policy := flag.String("policy", "none", "row retirement policy: none|on-first-ce|threshold:<n>|harp")
+	scheme := flag.String("scheme", "XED", "rank-level protection scheme (faultsim registry name)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); results do not depend on this")
+	chunk := flag.Int("chunk", 0, "DIMMs per scheduling chunk (0 = default); part of the deterministic stream layout")
+	dimmsMC := flag.Int("dimms-per-mc", 8, "DIMMs per simulated memory controller (EDAC grouping; sizes checkpoints and dumps)")
+	dimmHist := flag.Int("dimm", -1, "print this DIMM's regenerated fault history as JSON and exit")
+	edacPath := flag.String("edac", "", "write the EDAC sysfs-shaped counter dump to this file (\"-\" for stdout)")
+	ckptPath := flag.String("checkpoint", "", "snapshot fleet progress to this file")
+	ckptEvery := flag.Duration("checkpoint-every", fleet.DefaultCheckpointInterval, "interval between periodic snapshots")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it exists")
+	progress := flag.Bool("progress", false, "repaint a one-line live status on stderr")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics, /edac and pprof over HTTP on this address")
+	flag.Parse()
+
+	if err := validateArgs(cliArgs{
+		dimms:     *dimms,
+		years:     *years,
+		scrub:     *scrub,
+		workers:   *workers,
+		chunk:     *chunk,
+		dimmsMC:   *dimmsMC,
+		policy:    *policy,
+		scheme:    *scheme,
+		dimmsHist: *dimmHist,
+		ckptPath:  *ckptPath,
+		ckptEvery: *ckptEvery,
+		resume:    *resume,
+	}); err != nil {
+		usageErr("%v", err)
+	}
+
+	cfg := fleet.DefaultConfig()
+	cfg.DIMMs = *dimms
+	cfg.HorizonHours = *years * faultsim.HoursPerYear
+	cfg.ScrubIntervalHours = *scrub
+	cfg.Scheme = *scheme
+	cfg.DIMMsPerMC = *dimmsMC
+	cfg.Policy, _ = fleet.ParsePolicy(*policy)
+	if err := cfg.Validate(); err != nil {
+		usageErr("%v", err)
+	}
+
+	opts := fleet.Options{
+		Seed:               *seed,
+		Workers:            *workers,
+		ChunkSize:          *chunk,
+		CheckpointPath:     *ckptPath,
+		CheckpointInterval: *ckptEvery,
+		Resume:             *resume,
+	}
+
+	if *dimmHist >= 0 {
+		h, err := fleet.History(cfg, opts, *dimmHist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xedfleet: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h); err != nil {
+			fmt.Fprintf(os.Stderr, "xedfleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reg *obs.Registry
+	if *progress || *metricsJSON != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+	view := fleet.NewView()
+	opts.View = view
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xedfleet: -debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xedfleet: serving metrics, /edac and pprof on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: obs.NewMuxViews(reg, map[string]http.Handler{"/edac": view.Handler()})}
+		go srv.Serve(ln) //nolint:errcheck // closed on exit
+		defer srv.Close()
+	}
+	if *progress {
+		start := time.Now()
+		opts.OnChunk = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rxedfleet: %d/%d chunks (%.0f%%), %.0fs elapsed   ",
+				done, total, 100*float64(done)/float64(total), time.Since(start).Seconds())
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sum, runErr := fleet.Run(ctx, cfg, opts)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	interrupted := errors.Is(runErr, context.Canceled)
+	if runErr != nil && !interrupted {
+		fmt.Fprintf(os.Stderr, "xedfleet: %v\n", runErr)
+		os.Exit(1)
+	}
+	printSummary(sum)
+	if *edacPath != "" {
+		if err := writeEDAC(*edacPath, &cfg, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "xedfleet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsJSON != "" {
+		b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsJSON, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xedfleet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if interrupted {
+		msg := "interrupted; partial summary above"
+		if *ckptPath != "" {
+			msg += ", progress saved to " + *ckptPath
+		}
+		fmt.Fprintf(os.Stderr, "xedfleet: %s\n", msg)
+		os.Exit(1)
+	}
+}
+
+func printSummary(s *fleet.Summary) {
+	t := &s.Tally
+	fmt.Printf("fleet: %d DIMMs (%s), %d years, scrub %.0fh, policy %s, seed %d\n",
+		t.DIMMs, s.Config.Scheme, s.Years, s.Config.ScrubIntervalHours, s.Config.Policy, s.Seed)
+	if !s.Complete {
+		fmt.Printf("  PARTIAL: %d of %d DIMMs aged\n", t.DIMMs, s.Config.DIMMs)
+	}
+	fmt.Printf("  machine-years simulated   %.0f\n", s.MachineYears())
+	fmt.Printf("  fault arrivals            %d\n", t.Faults)
+	fmt.Printf("  failed DIMMs              %d (%.3g, %.2f nines)\n", t.Failed, s.FailedFraction(), s.Nines())
+	fmt.Printf("  detected (DUE) / silent   %d / %d\n", t.DUEs, t.SDCs)
+	fmt.Printf("  ce_count / ce_noinfo      %d / %d\n", t.CEs, t.CENoInfo)
+	fmt.Printf("  ue_count / ue_noinfo      %d / %d\n", t.UEs, t.UENoInfo)
+	fmt.Printf("  rows retired              %d\n", t.RetiredRows)
+	fmt.Printf("  replacement cost          $%.0f\n", s.SwapCostUSD())
+	fmt.Printf("  %-24s", "cumulative failures")
+	for _, n := range s.CumulativeFailedByYear() {
+		fmt.Printf(" %7d", n)
+	}
+	fmt.Println()
+	fmt.Printf("  %-24s", "arrival histogram")
+	for _, n := range t.Arrivals {
+		fmt.Printf(" %7d", n)
+	}
+	fmt.Println()
+}
+
+func writeEDAC(path string, cfg *fleet.Config, sum *fleet.Summary) error {
+	dump := fleet.NewEDACSnapshot(cfg, sum.MCs).Dump()
+	if path == "-" {
+		_, err := os.Stdout.Write(dump)
+		return err
+	}
+	return os.WriteFile(path, dump, 0o644)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xedsim/internal/faultsim"
+	"xedsim/internal/fleet"
 )
 
 // Status classifies a claim's verdict.
@@ -104,6 +105,10 @@ type Options struct {
 	Schemes SchemeFactory
 	// Runner evaluates campaigns; nil selects faultsim.RunCampaign.
 	Runner CampaignRunner
+	// Fleet ages field-simulator fleets; nil selects fleet.Run. The fleet/
+	// claim uses it, and sabotage tests substitute broken runners to prove
+	// the claim refutes them.
+	Fleet FleetRunner
 	// Engine selects the campaign evaluation engine every claim's
 	// RunCampaign uses ("" = indexed). Verdicts must not depend on it —
 	// running the gate under faultsim.EngineLanes is exactly how the
@@ -163,6 +168,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Runner == nil {
 		o.Runner = faultsim.RunCampaign
+	}
+	if o.Fleet == nil {
+		o.Fleet = fleet.Run
 	}
 	if eng, err := faultsim.ParseEngine(string(o.Engine)); err == nil {
 		o.Engine = eng

@@ -1,0 +1,66 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+
+	"xedsim/internal/fleet"
+)
+
+// doubledFITFleet is the injected fleet bug of the acceptance criteria: a
+// runner that silently doubles every FIT rate before aging the fleet —
+// the kind of regression a broken arrival sampler or a double-counted
+// chunk would produce. The FIT slice is copied before mutation so the
+// sabotage cannot leak into other tests through the shared Table I value.
+func doubledFITFleet(ctx context.Context, cfg fleet.Config, opts fleet.Options) (*fleet.Summary, error) {
+	fits := append(cfg.FITs[:0:0], cfg.FITs...)
+	for i := range fits {
+		fits[i].Rate *= 2
+	}
+	cfg.FITs = fits
+	return fleet.Run(ctx, cfg, opts)
+}
+
+func fleetClaimOnly(t *testing.T) []Claim {
+	t.Helper()
+	claims, err := SelectClaims(PaperClaims(), []string{"fleet/xed-field-rate-matches-campaign"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return claims
+}
+
+// TestFleetClaimConfirmedOnCleanTree: the fleet/ claim alone, at test
+// budgets, on the real fleet.Run.
+func TestFleetClaimConfirmedOnCleanTree(t *testing.T) {
+	verdicts := Run(context.Background(), fleetClaimOnly(t), testOptions(t), nil)
+	v := verdicts[0]
+	t.Logf("%-12s %s", v.Status, v.Detail)
+	if v.Status != Confirmed {
+		t.Fatalf("fleet claim on a clean tree: %v (%s)", v.Status, v.Detail)
+	}
+}
+
+// TestFleetClaimRefutesDoubledFITs: with the fleet runner silently doubling
+// the Table I rates, the fleet's failure fraction lands ~4x above the
+// campaign's (two faults must coincide, so the rate is roughly quadratic in
+// FIT) and the Wilson band check must refute within the claim's one fixed
+// batch.
+func TestFleetClaimRefutesDoubledFITs(t *testing.T) {
+	o := testOptions(t)
+	o.Fleet = doubledFITFleet
+	verdicts := Run(context.Background(), fleetClaimOnly(t), o, nil)
+	v := verdicts[0]
+	t.Logf("%-12s %s", v.Status, v.Detail)
+	if v.Status != Refuted {
+		t.Fatalf("doubled-FIT fleet was not refuted: %v (%s)", v.Status, v.Detail)
+	}
+}
+
+// TestFleetSeamDefaults: normalize must install fleet.Run so zero-valued
+// CLI option structs reach the real simulator.
+func TestFleetSeamDefaults(t *testing.T) {
+	if (Options{}).normalize().Fleet == nil {
+		t.Fatal("normalize left Options.Fleet nil")
+	}
+}

@@ -125,6 +125,9 @@ func PaperClaims() []Claim {
 		zeroSDCClaim("table4/xed-no-sdc", "§VIII Table IV",
 			"XED converts every escape into a detected failure: zero SDC trials",
 			paperConfig, schemeXED),
+
+		// --- fleet field simulator (statistical, Wilson band) ---
+		fleetFigure1Claim(),
 	}
 }
 

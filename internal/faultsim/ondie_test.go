@@ -32,10 +32,34 @@ func TestParseOnDieCode(t *testing.T) {
 	if a.Name() != b.Name() {
 		t.Error("random:<seed> is not deterministic")
 	}
-	for _, bad := range []string{"crc16", "random:", "random:x", "random:-1"} {
+	for _, bad := range []string{
+		"crc16", "random:", "random:x", "random:-1",
+		"random:18446744073709551616", // one past MaxUint64
+		"random:1.5",
+		" crc8", "crc8 ", "CRC8", "Hamming", // specs are exact, no trimming or case folding
+		"random: 42",
+	} {
 		if _, err := ParseOnDieCode(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+	// The maximum representable seed is still a valid spec.
+	if _, err := ParseOnDieCode("random:18446744073709551615"); err != nil {
+		t.Errorf("random:MaxUint64 rejected: %v", err)
+	}
+}
+
+// TestSilentWordFractionDeterministic: the measurement is seeded, so
+// checkpointed campaigns that re-measure on resume hash identically.
+func TestSilentWordFractionDeterministic(t *testing.T) {
+	code, _ := ParseOnDieCode("crc8")
+	a := SilentWordFractionFor(code, 5000, 7)
+	b := SilentWordFractionFor(code, 5000, 7)
+	if a != b {
+		t.Fatalf("same seed measured %v then %v", a, b)
+	}
+	if a < 0 || a > 1 {
+		t.Fatalf("fraction %v out of [0, 1]", a)
 	}
 }
 

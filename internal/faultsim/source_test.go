@@ -1,0 +1,197 @@
+package faultsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"xedsim/internal/dram"
+	"xedsim/internal/simrand"
+)
+
+func singleDIMMConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	return cfg
+}
+
+func TestNewTrialSourceValidates(t *testing.T) {
+	bad := singleDIMMConfig()
+	bad.ScrubIntervalHours = 0
+	if _, err := NewTrialSource(&bad); err == nil {
+		t.Fatal("NewTrialSource accepted an invalid config")
+	}
+	cfg := singleDIMMConfig()
+	if _, err := NewTrialSource(&cfg); err != nil {
+		t.Fatalf("NewTrialSource rejected a valid config: %v", err)
+	}
+}
+
+// TestTrialSourceMeanIsUnfiltered: the source must carry the FULL FIT
+// table's arrival mean — including the single-bit classes campaign schemes
+// filter out, because fleet telemetry counts their scrub CEs.
+func TestTrialSourceMeanIsUnfiltered(t *testing.T) {
+	cfg := singleDIMMConfig()
+	src, err := NewTrialSource(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	chips := float64(cfg.TotalChips())
+	for _, cls := range cfg.FITs {
+		per := float64(cls.Rate) * 1e-9 * cfg.LifetimeHours
+		if cls.Gran == dram.GranChip {
+			want += per * float64(cfg.Channels)
+		} else {
+			want += per * chips
+		}
+	}
+	if got := src.Mean(); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("Mean() = %v, want %v", got, want)
+	}
+}
+
+// TestTrialSourceEmpiricalMean: long-run arrival counts track Mean().
+func TestTrialSourceEmpiricalMean(t *testing.T) {
+	cfg := singleDIMMConfig()
+	src, err := NewTrialSource(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(0)
+	rng.SeedStream(99, 0)
+	const trials = 200_000
+	var events int
+	var buf []FaultRecord
+	for i := 0; i < trials; i++ {
+		buf = src.Trial(rng, buf[:0])
+		for j := range buf {
+			// Count events, not records: multi-rank expansion copies share
+			// their event's identity and must not inflate the estimate.
+			if buf[j].EventID == 0 || buf[j].Rank == 0 {
+				events++
+			}
+		}
+	}
+	got := float64(events) / trials
+	want := src.Mean()
+	// 5-sigma band for a Poisson sum over `trials` draws.
+	sigma := 5 * math.Sqrt(want/trials)
+	if math.Abs(got-want) > sigma {
+		t.Fatalf("empirical mean %v outside %v ± %v", got, want, sigma)
+	}
+}
+
+// TestNextNonEmptyDecomposition: skip-sampling must visit exactly the
+// trials the one-by-one draw visits, with identical records.
+func TestNextNonEmptyDecomposition(t *testing.T) {
+	cfg := singleDIMMConfig()
+	src, err := NewTrialSource(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type visit struct {
+		trial int
+		recs  []FaultRecord
+	}
+	const trials = 50_000
+
+	rng := simrand.New(0)
+	rng.SeedStream(7, 3)
+	src.ResetEvents()
+	var slow []visit
+	var buf []FaultRecord
+	for i := 0; i < trials; i++ {
+		buf = src.Trial(rng, buf[:0])
+		if len(buf) > 0 {
+			slow = append(slow, visit{i, append([]FaultRecord(nil), buf...)})
+		}
+	}
+
+	rng.SeedStream(7, 3)
+	src.ResetEvents()
+	var fast []visit
+	at := 0
+	for at < trials {
+		skipped, recs := src.NextNonEmpty(rng, buf)
+		buf = recs
+		at += skipped
+		if at >= trials {
+			break // the non-empty trial falls past the window; discard
+		}
+		if len(recs) > 0 {
+			fast = append(fast, visit{at, append([]FaultRecord(nil), recs...)})
+		}
+		at++
+	}
+
+	if !reflect.DeepEqual(slow, fast) {
+		t.Fatalf("skip-sampled visits diverge from one-by-one draws:\nslow: %d visits\nfast: %d visits", len(slow), len(fast))
+	}
+	if len(slow) == 0 {
+		t.Fatal("no non-empty trials in the window; test has no power")
+	}
+}
+
+// TestTrialSourceStreamsAreReproducible: same (seed, stream) → identical
+// records; different stream → different draws. ResetEvents makes the record
+// stream a pure function of the substream, which is what the fleet's
+// History replay depends on.
+func TestTrialSourceStreamsAreReproducible(t *testing.T) {
+	cfg := singleDIMMConfig()
+	src, err := NewTrialSource(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed, stream uint64) []FaultRecord {
+		rng := simrand.New(0)
+		rng.SeedStream(seed, stream)
+		src.ResetEvents()
+		var out []FaultRecord
+		var buf []FaultRecord
+		for i := 0; i < 10_000; i++ {
+			buf = src.Trial(rng, buf[:0])
+			out = append(out, buf...)
+		}
+		return out
+	}
+	a, b := draw(1, 0), draw(1, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same substream produced different records")
+	}
+	if c := draw(1, 1); reflect.DeepEqual(a, c) {
+		t.Fatal("different substreams produced identical records")
+	}
+}
+
+// TestTrialSourceRecordsHaveRanges: the source always draws symbolic
+// address ranges (retirement policies need the damaged row), even though
+// campaign generators only do so on demand.
+func TestTrialSourceRecordsHaveRanges(t *testing.T) {
+	cfg := singleDIMMConfig()
+	src, err := NewTrialSource(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(0)
+	rng.SeedStream(13, 0)
+	var buf []FaultRecord
+	seen := 0
+	for i := 0; i < 200_000 && seen < 50; i++ {
+		buf = src.Trial(rng, buf[:0])
+		for j := range buf {
+			r := &buf[j]
+			seen++
+			if r.Range.Gran != r.Gran {
+				t.Fatalf("record %d: range granularity %v != record granularity %v", j, r.Range.Gran, r.Gran)
+			}
+			if r.End < r.Start {
+				t.Fatalf("record %d: End %v < Start %v", j, r.End, r.Start)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no fault records drawn; test has no power")
+	}
+}

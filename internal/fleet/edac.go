@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file renders the fleet's per-MC counters in the Linux EDAC sysfs
+// shape — the exact attribute files a baremetal memory-error monitor
+// scrapes from /sys/devices/system/edac/mc/mc<N>/ — and parses the dump
+// back. The round trip is exact (FuzzEDACDumpRoundTrip holds it to that),
+// so external EDAC consumers can point at the /edac view or a dump file
+// and parse it with the code they already run against real hosts.
+
+// edacPrefix roots every attribute path in a dump.
+const edacPrefix = "/sys/devices/system/edac/mc/mc"
+
+// edacAttrs is the fixed attribute order of one MC's dump block.
+var edacAttrs = [...]string{
+	"mc_name",
+	"size_mb",
+	"seconds_since_reset",
+	"ce_count",
+	"ce_noinfo_count",
+	"ue_count",
+	"ue_noinfo_count",
+}
+
+// MCRecord is one memory controller's EDAC attribute block.
+type MCRecord struct {
+	// Name is the mc_name attribute (the controller model string).
+	Name string `json:"mc_name"`
+	// SizeMB is the memory the controller hosts.
+	SizeMB uint64 `json:"size_mb"`
+	// SecondsSinceReset is the counter accumulation window.
+	SecondsSinceReset uint64 `json:"seconds_since_reset"`
+	// Counters carries ce_count / ce_noinfo_count / ue_count /
+	// ue_noinfo_count.
+	Counters MCCounters `json:"counters"`
+}
+
+// EDACSnapshot is a whole host's (or simulated fleet's) EDAC state: one
+// record per memory controller, mc0 first.
+type EDACSnapshot struct {
+	MCs []MCRecord `json:"mcs"`
+}
+
+// NewEDACSnapshot shapes the fleet's per-MC counters as EDAC records: the
+// controller name carries the simulated scheme, size_mb the DIMMs the
+// controller hosts, and seconds_since_reset the simulated horizon.
+func NewEDACSnapshot(cfg *Config, mcs []MCCounters) *EDACSnapshot {
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = "XED"
+	}
+	name := "xedsim " + scheme
+	seconds := uint64(cfg.HorizonHours * 3600)
+	snap := &EDACSnapshot{MCs: make([]MCRecord, len(mcs))}
+	for i := range mcs {
+		dimms := cfg.DIMMsPerMC
+		if rest := cfg.DIMMs - i*cfg.DIMMsPerMC; rest < dimms {
+			dimms = rest
+		}
+		if dimms < 0 {
+			dimms = 0
+		}
+		snap.MCs[i] = MCRecord{
+			Name:              name,
+			SizeMB:            uint64(dimms) * uint64(cfg.DIMMSizeMB),
+			SecondsSinceReset: seconds,
+			Counters:          mcs[i],
+		}
+	}
+	return snap
+}
+
+// Dump renders the snapshot as "<sysfs-path> <value>" lines, mc0 first,
+// attributes in edacAttrs order. ParseEDACDump inverts it exactly.
+func (s *EDACSnapshot) Dump() []byte {
+	var b bytes.Buffer
+	for i := range s.MCs {
+		mc := &s.MCs[i]
+		p := edacPrefix + strconv.Itoa(i) + "/"
+		fmt.Fprintf(&b, "%smc_name %s\n", p, mc.Name)
+		fmt.Fprintf(&b, "%ssize_mb %d\n", p, mc.SizeMB)
+		fmt.Fprintf(&b, "%sseconds_since_reset %d\n", p, mc.SecondsSinceReset)
+		fmt.Fprintf(&b, "%sce_count %d\n", p, mc.Counters.CE)
+		fmt.Fprintf(&b, "%sce_noinfo_count %d\n", p, mc.Counters.CENoInfo)
+		fmt.Fprintf(&b, "%sue_count %d\n", p, mc.Counters.UE)
+		fmt.Fprintf(&b, "%sue_noinfo_count %d\n", p, mc.Counters.UENoInfo)
+	}
+	return b.Bytes()
+}
+
+// ParseEDACDump inverts Dump: it accepts any ordering of complete MC
+// attribute blocks and rejects dumps with unknown attributes, duplicate or
+// missing attributes, non-dense controller indices, or malformed counter
+// values. For every snapshot s, ParseEDACDump(s.Dump()) reproduces s
+// exactly (names may contain spaces; values run to end of line).
+func ParseEDACDump(data []byte) (*EDACSnapshot, error) {
+	type partial struct {
+		rec  MCRecord
+		seen map[string]bool
+	}
+	mcs := make(map[int]*partial)
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, edacPrefix)
+		if !ok {
+			return nil, fmt.Errorf("fleet: edac dump line %d: path does not start with %s", ln+1, edacPrefix)
+		}
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("fleet: edac dump line %d: missing attribute path", ln+1)
+		}
+		idx, err := strconv.Atoi(rest[:slash])
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("fleet: edac dump line %d: bad controller index %q", ln+1, rest[:slash])
+		}
+		attrVal := rest[slash+1:]
+		space := strings.IndexByte(attrVal, ' ')
+		if space < 0 {
+			return nil, fmt.Errorf("fleet: edac dump line %d: missing value", ln+1)
+		}
+		attr, val := attrVal[:space], attrVal[space+1:]
+		p := mcs[idx]
+		if p == nil {
+			p = &partial{seen: make(map[string]bool, len(edacAttrs))}
+			mcs[idx] = p
+		}
+		if p.seen[attr] {
+			return nil, fmt.Errorf("fleet: edac dump line %d: duplicate attribute mc%d/%s", ln+1, idx, attr)
+		}
+		p.seen[attr] = true
+		switch attr {
+		case "mc_name":
+			p.rec.Name = val
+		case "size_mb", "seconds_since_reset", "ce_count", "ce_noinfo_count", "ue_count", "ue_noinfo_count":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: edac dump line %d: mc%d/%s value %q is not a uint64", ln+1, idx, attr, val)
+			}
+			switch attr {
+			case "size_mb":
+				p.rec.SizeMB = n
+			case "seconds_since_reset":
+				p.rec.SecondsSinceReset = n
+			case "ce_count":
+				p.rec.Counters.CE = n
+			case "ce_noinfo_count":
+				p.rec.Counters.CENoInfo = n
+			case "ue_count":
+				p.rec.Counters.UE = n
+			case "ue_noinfo_count":
+				p.rec.Counters.UENoInfo = n
+			}
+		default:
+			return nil, fmt.Errorf("fleet: edac dump line %d: unknown attribute %q", ln+1, attr)
+		}
+	}
+	snap := &EDACSnapshot{MCs: make([]MCRecord, len(mcs))}
+	for i := range snap.MCs {
+		p := mcs[i]
+		if p == nil {
+			return nil, fmt.Errorf("fleet: edac dump: controller indices not dense (missing mc%d of %d)", i, len(mcs))
+		}
+		if len(p.seen) != len(edacAttrs) {
+			for _, a := range edacAttrs {
+				if !p.seen[a] {
+					return nil, fmt.Errorf("fleet: edac dump: mc%d missing attribute %s", i, a)
+				}
+			}
+		}
+		snap.MCs[i] = p.rec
+	}
+	return snap, nil
+}
+
+// View is the live EDAC data source the /edac HTTP view serves. A running
+// engine binds itself to the Options.View it was given; the handler then
+// renders a fresh counter snapshot per request — mid-run numbers during a
+// simulation, final numbers after it.
+type View struct {
+	mu sync.Mutex
+	fn func() *EDACSnapshot
+}
+
+// NewView returns an unbound view (its handler answers 503 until a run
+// binds it).
+func NewView() *View { return &View{} }
+
+func (v *View) bind(fn func() *EDACSnapshot) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.fn = fn
+}
+
+// Snapshot returns the current EDAC state, or nil when no run has bound
+// the view yet.
+func (v *View) Snapshot() *EDACSnapshot {
+	v.mu.Lock()
+	fn := v.fn
+	v.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Handler serves the EDAC dump as text/plain — the payload an external
+// EDAC consumer polls instead of walking a real host's sysfs.
+func (v *View) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		snap := v.Snapshot()
+		if snap == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("no fleet running\n")) //nolint:errcheck // best-effort over HTTP
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(snap.Dump()) //nolint:errcheck // best-effort over HTTP
+	})
+}

@@ -1,0 +1,1020 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xedsim/internal/checkpoint"
+	"xedsim/internal/dram"
+	"xedsim/internal/ecc"
+	"xedsim/internal/faultsim"
+	"xedsim/internal/infer"
+	"xedsim/internal/obs"
+	"xedsim/internal/simrand"
+)
+
+// Fleet engine defaults.
+const (
+	// DefaultChunkSize is the DIMMs-per-chunk scheduling granularity.
+	// Smaller than the campaign engine's 4096: a DIMM with faults costs
+	// more than a campaign trial (telemetry, retirement), and small fleets
+	// (10k DIMMs) still want enough chunks to spread over workers.
+	DefaultChunkSize = 1024
+	// DefaultCheckpointInterval spaces periodic snapshots.
+	DefaultCheckpointInterval = 30 * time.Second
+	// ArrivalBins sizes the per-DIMM fault-arrival histogram: bins 0..7
+	// count DIMMs with exactly that many fault events over the horizon,
+	// the last bin collects 8+.
+	ArrivalBins = 9
+)
+
+// fleetCheckpointKind frames fleet snapshots on disk.
+const (
+	fleetCheckpointKind    = "fleet-campaign"
+	fleetCheckpointVersion = 1
+)
+
+// Options parameterises Run.
+type Options struct {
+	// Seed roots all fleet randomness; DIMM d's fault history is a pure
+	// function of (Config, Seed, ChunkSize, d).
+	Seed uint64
+	// Workers is the goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// ChunkSize is the DIMMs-per-chunk scheduling granularity; 0 selects
+	// DefaultChunkSize. Results are bit-identical for a fixed (Config,
+	// Seed, ChunkSize) regardless of Workers.
+	ChunkSize int
+	// CheckpointPath enables periodic atomic snapshots when non-empty.
+	CheckpointPath string
+	// CheckpointInterval spaces periodic snapshots; 0 selects
+	// DefaultCheckpointInterval.
+	CheckpointInterval time.Duration
+	// Resume loads CheckpointPath before starting and ages only the
+	// chunks it does not cover. A missing file starts fresh; a snapshot
+	// from any different configuration is refused.
+	Resume bool
+	// OnChunk, when non-nil, observes progress after each chunk merge
+	// (and once at startup when resuming). Called from worker
+	// goroutines, serialised.
+	OnChunk func(doneChunks, totalChunks int)
+	// Metrics, when non-nil, publishes live fleet counters under
+	// "fleet.*" names.
+	Metrics *obs.Registry
+	// View, when non-nil, is bound to the running engine so the /edac
+	// HTTP view serves live mid-run counter snapshots.
+	View *View
+}
+
+// MCCounters is one simulated memory controller's EDAC counter block, in
+// the exact shape of /sys/devices/system/edac/mc/mc<N>: correctable errors
+// with and without source information, and detected uncorrectable errors
+// likewise. Counters compose by field-wise addition.
+type MCCounters struct {
+	CE       uint64 `json:"ce_count"`
+	CENoInfo uint64 `json:"ce_noinfo_count"`
+	UE       uint64 `json:"ue_count"`
+	UENoInfo uint64 `json:"ue_noinfo_count"`
+}
+
+func (m *MCCounters) add(o *MCCounters) {
+	m.CE += o.CE
+	m.CENoInfo += o.CENoInfo
+	m.UE += o.UE
+	m.UENoInfo += o.UENoInfo
+}
+
+// Tally is the fleet's integer accumulator: the unit of chunk merging and
+// of checkpoint payloads. Tallies compose by field-wise addition, which is
+// what makes any partition of the fleet's chunks across workers merge back
+// to bit-identical Summaries.
+type Tally struct {
+	// DIMMs is the number of DIMMs aged.
+	DIMMs uint64 `json:"dimms"`
+	// Faults counts fault-arrival events (a multi-rank event counts
+	// once, not once per expanded rank record).
+	Faults uint64 `json:"faults"`
+	// Failed / DUEs / SDCs classify the DIMMs whose protection scheme
+	// failed within the horizon.
+	Failed uint64 `json:"failed"`
+	DUEs   uint64 `json:"dues"`
+	SDCs   uint64 `json:"sdcs"`
+	// CEs / CENoInfo count scrub-pass correctable-error reports;
+	// UEs / UENoInfo count detected uncorrectable errors. NoInfo books
+	// whole-chip damage, which carries no useful source address. SDC
+	// failures appear in no UE counter — silent corruption is, by
+	// definition, invisible to the monitor.
+	CEs      uint64 `json:"ces"`
+	CENoInfo uint64 `json:"ce_noinfo"`
+	UEs      uint64 `json:"ues"`
+	UENoInfo uint64 `json:"ue_noinfo"`
+	// RetiredRows counts retirement-policy actions (capacity burned).
+	RetiredRows uint64 `json:"retired_rows"`
+	// Arrivals histograms per-DIMM fault-event counts (see ArrivalBins).
+	Arrivals [ArrivalBins]uint64 `json:"arrivals"`
+	// FailedByYear buckets first failures by year of onset
+	// (non-cumulative; Summary exposes the cumulative view).
+	FailedByYear []uint64 `json:"failed_by_year"`
+}
+
+func (t *Tally) add(o *Tally) {
+	t.DIMMs += o.DIMMs
+	t.Faults += o.Faults
+	t.Failed += o.Failed
+	t.DUEs += o.DUEs
+	t.SDCs += o.SDCs
+	t.CEs += o.CEs
+	t.CENoInfo += o.CENoInfo
+	t.UEs += o.UEs
+	t.UENoInfo += o.UENoInfo
+	t.RetiredRows += o.RetiredRows
+	for i := range t.Arrivals {
+		t.Arrivals[i] += o.Arrivals[i]
+	}
+	for y := range t.FailedByYear {
+		t.FailedByYear[y] += o.FailedByYear[y]
+	}
+}
+
+// Summary is the outcome of one fleet run: pure integer telemetry plus the
+// configuration that produced it. Two runs with the same (Config, Seed,
+// ChunkSize) produce identical Summaries whatever the worker count and
+// whether or not they were interrupted and resumed.
+type Summary struct {
+	Config    Config `json:"config"`
+	Seed      uint64 `json:"seed"`
+	ChunkSize int    `json:"chunk_size"`
+	Years     int    `json:"years"`
+	// Complete is false when the run was cancelled mid-fleet; Tally then
+	// covers only the merged chunks.
+	Complete bool         `json:"complete"`
+	Tally    Tally        `json:"tally"`
+	MCs      []MCCounters `json:"mcs"`
+}
+
+// FailedFraction is the per-DIMM failure probability over the horizon.
+func (s *Summary) FailedFraction() float64 {
+	if s.Tally.DIMMs == 0 {
+		return 0
+	}
+	return float64(s.Tally.Failed) / float64(s.Tally.DIMMs)
+}
+
+// Nines is the fleet's DIMM-survival nines over the horizon:
+// -log10(failed fraction), +Inf when nothing failed.
+func (s *Summary) Nines() float64 {
+	f := s.FailedFraction()
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log10(f)
+}
+
+// SwapCostUSD prices the horizon's DIMM replacements.
+func (s *Summary) SwapCostUSD() float64 {
+	return float64(s.Tally.Failed) * s.Config.CostPerSwapUSD
+}
+
+// MachineYears is the total simulated DIMM-time.
+func (s *Summary) MachineYears() float64 {
+	return float64(s.Tally.DIMMs) * s.Config.HorizonHours / faultsim.HoursPerYear
+}
+
+// CumulativeFailedByYear returns failures-by-end-of-year (the Figure 1
+// presentation of Tally.FailedByYear's per-year buckets).
+func (s *Summary) CumulativeFailedByYear() []uint64 {
+	out := make([]uint64, len(s.Tally.FailedByYear))
+	var run uint64
+	for y, n := range s.Tally.FailedByYear {
+		run += n
+		out[y] = run
+	}
+	return out
+}
+
+// fleetSnapshot is the checkpoint payload: completed-chunk bitmap plus the
+// accumulated tallies and per-MC counters.
+type fleetSnapshot struct {
+	DIMMs      int          `json:"dimms"`
+	Seed       uint64       `json:"seed"`
+	ChunkSize  int          `json:"chunk_size"`
+	Years      int          `json:"years"`
+	DoneChunks []uint64     `json:"done_chunks"` // bitmap, chunk c at word c/64 bit c%64
+	Complete   bool         `json:"complete"`
+	Tally      Tally        `json:"tally"`
+	MCs        []MCCounters `json:"mcs"`
+}
+
+// fleetHashInput is what the checkpoint config hash covers: everything
+// that shapes the fault streams and the meaning of the accumulators.
+type fleetHashInput struct {
+	Config    Config `json:"config"`
+	Seed      uint64 `json:"seed"`
+	ChunkSize int    `json:"chunk_size"`
+}
+
+// fleetEngine is the shared state of one Run invocation.
+type fleetEngine struct {
+	cfg     Config
+	opts    Options
+	years   int
+	nChunks int
+	hash    string
+
+	nextChunk atomic.Int64
+
+	mu         sync.Mutex
+	doneBits   []uint64
+	doneChunks int
+	tally      Tally
+	mcs        []MCCounters
+	failed     error // first fatal engine error (checkpoint I/O)
+	lastSave   time.Time
+
+	onChunkMu sync.Mutex
+	cancel    context.CancelFunc
+
+	met fleetMetrics
+}
+
+// fleetMetrics holds pre-resolved obs handles; every field is nil (and
+// every update a no-op) when Options.Metrics is unset.
+type fleetMetrics struct {
+	dimmsTotal  *obs.Gauge
+	dimmsDone   *obs.Counter
+	chunksDone  *obs.Counter
+	chunksTotal *obs.Gauge
+	failed      *obs.Counter
+	ces         *obs.Counter
+	ceNoInfo    *obs.Counter
+	ues         *obs.Counter
+	ueNoInfo    *obs.Counter
+	retired     *obs.Counter
+	ckptSaves   *obs.Counter
+	ckptSaveMS  *obs.Histogram
+}
+
+func newFleetMetrics(r *obs.Registry) fleetMetrics {
+	return fleetMetrics{
+		dimmsTotal:  r.Gauge("fleet.dimms_total"),
+		dimmsDone:   r.Counter("fleet.dimms_done"),
+		chunksDone:  r.Counter("fleet.chunks_done"),
+		chunksTotal: r.Gauge("fleet.chunks_total"),
+		failed:      r.Counter("fleet.dimms_failed"),
+		ces:         r.Counter("fleet.ce_count"),
+		ceNoInfo:    r.Counter("fleet.ce_noinfo_count"),
+		ues:         r.Counter("fleet.ue_count"),
+		ueNoInfo:    r.Counter("fleet.ue_noinfo_count"),
+		retired:     r.Counter("fleet.retired_rows"),
+		ckptSaves:   r.Counter("fleet.checkpoint.saves"),
+		ckptSaveMS:  r.Histogram("fleet.checkpoint.save_ms", []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}),
+	}
+}
+
+// Run ages the configured fleet. It honours ctx cancellation by draining
+// workers at chunk boundaries and returning the partial Summary alongside
+// ctx's error; with CheckpointPath set it also snapshots progress
+// periodically and on cancellation, and Resume picks a fleet back up from
+// such a snapshot. Completed runs return a Summary covering exactly
+// cfg.DIMMs DIMMs and a nil error.
+func Run(ctx context.Context, cfg Config, opts Options) (*Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.CheckpointInterval <= 0 {
+		opts.CheckpointInterval = DefaultCheckpointInterval
+	}
+	e := &fleetEngine{
+		cfg:     cfg,
+		opts:    opts,
+		years:   cfg.Years(),
+		nChunks: (cfg.DIMMs + opts.ChunkSize - 1) / opts.ChunkSize,
+	}
+	if opts.CheckpointPath != "" {
+		var err error
+		e.hash, err = checkpoint.Hash(fleetHashInput{Config: cfg, Seed: opts.Seed, ChunkSize: opts.ChunkSize})
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.doneBits = make([]uint64, (e.nChunks+63)/64)
+	e.tally.FailedByYear = make([]uint64, e.years)
+	e.mcs = make([]MCCounters, cfg.MCs())
+	if opts.Resume && opts.CheckpointPath != "" {
+		if err := e.loadSnapshot(); err != nil {
+			return nil, err
+		}
+	}
+	e.met = newFleetMetrics(opts.Metrics)
+	e.met.dimmsTotal.Set(int64(cfg.DIMMs))
+	e.met.chunksTotal.Set(int64(e.nChunks))
+	if e.doneChunks > 0 {
+		e.met.chunksDone.Add(uint64(e.doneChunks))
+		e.met.dimmsDone.Add(e.tally.DIMMs)
+		e.met.failed.Add(e.tally.Failed)
+		e.met.ces.Add(e.tally.CEs)
+		e.met.ceNoInfo.Add(e.tally.CENoInfo)
+		e.met.ues.Add(e.tally.UEs)
+		e.met.ueNoInfo.Add(e.tally.UENoInfo)
+		e.met.retired.Add(e.tally.RetiredRows)
+	}
+	if opts.View != nil {
+		opts.View.bind(e.edacSnapshot)
+	}
+	e.lastSave = time.Now()
+	if opts.OnChunk != nil && e.doneChunks > 0 {
+		opts.OnChunk(e.doneChunks, e.nChunks)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > e.nChunks {
+		workers = e.nChunks
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.cancel = cancel
+	var wg sync.WaitGroup
+	var workerErr atomic.Value
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := newFleetWorker(&e.cfg, e.opts.Seed, e.years)
+			if err != nil {
+				workerErr.Store(err)
+				cancel()
+				return
+			}
+			e.worker(wctx, w)
+		}()
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sum := e.summaryLocked()
+	runErr := e.failed
+	if runErr == nil {
+		if err, ok := workerErr.Load().(error); ok {
+			runErr = err
+		}
+	}
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	if e.opts.CheckpointPath != "" {
+		// Final snapshot: Complete on success, the partial frontier on
+		// cancellation, so a later -resume continues (or short-circuits).
+		if err := e.saveLocked(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return sum, runErr
+}
+
+// worker pulls chunk indices until the queue drains or ctx cancels.
+func (e *fleetEngine) worker(ctx context.Context, w *fleetWorker) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		c := int(e.nextChunk.Add(1)) - 1
+		if c >= e.nChunks {
+			return
+		}
+		if e.chunkDone(c) {
+			continue
+		}
+		lo, hi := e.chunkBounds(c)
+		if !w.runChunk(ctx, c, lo, hi) {
+			return // cancelled mid-chunk; the chunk is not merged
+		}
+		if !e.merge(c, w) {
+			return
+		}
+	}
+}
+
+func (e *fleetEngine) chunkBounds(c int) (lo, hi int) {
+	lo = c * e.opts.ChunkSize
+	hi = lo + e.opts.ChunkSize
+	if hi > e.cfg.DIMMs {
+		hi = e.cfg.DIMMs
+	}
+	return lo, hi
+}
+
+func (e *fleetEngine) chunkDone(c int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.doneBits[c/64]&(1<<(c%64)) != 0
+}
+
+// merge folds one completed chunk into the fleet accumulator.
+func (e *fleetEngine) merge(c int, w *fleetWorker) bool {
+	e.mu.Lock()
+	e.tally.add(&w.tally)
+	for i := range w.mcs {
+		e.mcs[w.mcLo+i].add(&w.mcs[i])
+	}
+	e.doneBits[c/64] |= 1 << (c % 64)
+	e.doneChunks++
+	done, total := e.doneChunks, e.nChunks
+	if e.opts.CheckpointPath != "" && time.Since(e.lastSave) >= e.opts.CheckpointInterval {
+		if err := e.saveLocked(); err != nil && e.failed == nil {
+			e.failed = err
+		}
+	}
+	failed := e.failed
+	e.mu.Unlock()
+
+	e.met.chunksDone.Inc()
+	e.met.dimmsDone.Add(w.tally.DIMMs)
+	e.met.failed.Add(w.tally.Failed)
+	e.met.ces.Add(w.tally.CEs)
+	e.met.ceNoInfo.Add(w.tally.CENoInfo)
+	e.met.ues.Add(w.tally.UEs)
+	e.met.ueNoInfo.Add(w.tally.UENoInfo)
+	e.met.retired.Add(w.tally.RetiredRows)
+
+	if e.opts.OnChunk != nil {
+		e.onChunkSerialised(done, total)
+	}
+	if failed != nil {
+		e.cancel()
+		return false
+	}
+	return true
+}
+
+func (e *fleetEngine) onChunkSerialised(done, total int) {
+	e.onChunkMu.Lock()
+	defer e.onChunkMu.Unlock()
+	e.opts.OnChunk(done, total)
+}
+
+// snapshotLocked assembles the checkpoint payload. Caller holds mu. The
+// payload is canonical: two engines that merged the same chunks — in any
+// order, on any number of workers — produce byte-identical snapshots.
+func (e *fleetEngine) snapshotLocked() fleetSnapshot {
+	return fleetSnapshot{
+		DIMMs:      e.cfg.DIMMs,
+		Seed:       e.opts.Seed,
+		ChunkSize:  e.opts.ChunkSize,
+		Years:      e.years,
+		DoneChunks: append([]uint64(nil), e.doneBits...),
+		Complete:   e.doneChunks == e.nChunks,
+		Tally:      e.tally.clone(),
+		MCs:        append([]MCCounters(nil), e.mcs...),
+	}
+}
+
+func (t *Tally) clone() Tally {
+	c := *t
+	c.FailedByYear = append([]uint64(nil), t.FailedByYear...)
+	return c
+}
+
+func (e *fleetEngine) saveLocked() error {
+	snap := e.snapshotLocked()
+	start := time.Now()
+	if err := checkpoint.Save(e.opts.CheckpointPath, fleetCheckpointKind, fleetCheckpointVersion, e.hash, &snap); err != nil {
+		return err
+	}
+	e.met.ckptSaves.Inc()
+	e.met.ckptSaveMS.Observe(float64(time.Since(start).Microseconds()) / 1e3)
+	e.lastSave = time.Now()
+	return nil
+}
+
+func (e *fleetEngine) loadSnapshot() error {
+	var snap fleetSnapshot
+	err := checkpoint.Load(e.opts.CheckpointPath, fleetCheckpointKind, fleetCheckpointVersion, e.hash, &snap)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(snap.DoneChunks) != len(e.doneBits) || len(snap.MCs) != len(e.mcs) ||
+		snap.Years != e.years || len(snap.Tally.FailedByYear) != e.years {
+		// The config hash covers everything that shapes these; reaching
+		// here means the snapshot lies about its own hash input.
+		return fmt.Errorf("%w: %s payload shape does not match its config",
+			checkpoint.ErrConfigMismatch, e.opts.CheckpointPath)
+	}
+	copy(e.doneBits, snap.DoneChunks)
+	e.doneChunks = 0
+	for _, word := range e.doneBits {
+		for ; word != 0; word &= word - 1 {
+			e.doneChunks++
+		}
+	}
+	e.tally = snap.Tally.clone()
+	copy(e.mcs, snap.MCs)
+	return nil
+}
+
+// summaryLocked assembles the Summary from the accumulator. Caller holds mu.
+func (e *fleetEngine) summaryLocked() *Summary {
+	return &Summary{
+		Config:    e.cfg,
+		Seed:      e.opts.Seed,
+		ChunkSize: e.opts.ChunkSize,
+		Years:     e.years,
+		Complete:  e.doneChunks == e.nChunks,
+		Tally:     e.tally.clone(),
+		MCs:       append([]MCCounters(nil), e.mcs...),
+	}
+}
+
+// edacSnapshot renders the live per-MC counters in EDAC shape (the /edac
+// view's data source). Safe to call concurrently with merging.
+func (e *fleetEngine) edacSnapshot() *EDACSnapshot {
+	e.mu.Lock()
+	mcs := append([]MCCounters(nil), e.mcs...)
+	e.mu.Unlock()
+	return NewEDACSnapshot(&e.cfg, mcs)
+}
+
+// fleetWorker holds one goroutine's reusable per-DIMM state plus the
+// current chunk's tallies. Nothing here allocates per healthy DIMM.
+type fleetWorker struct {
+	cfg     *Config
+	dimmCfg faultsim.Config
+	src     *faultsim.TrialSource
+	ev      *faultsim.Evaluator
+	fast    bool
+	seed    uint64
+	years   int
+	rng     *simrand.Source
+	buf     []faultsim.FaultRecord
+	outs    []faultsim.TrialOutcome
+
+	// HARP profiling scratch: one synthetic chip reused across profiled
+	// faults (sparse storage; ClearFaults between records).
+	harpChip  *dram.Chip
+	harpAddrs []dram.WordAddr
+
+	// Current chunk accumulators. mcs is a window over the memory
+	// controllers the chunk's DIMM range touches, starting at mcLo.
+	tally Tally
+	mcLo  int
+	mcs   []MCCounters
+}
+
+func newFleetWorker(cfg *Config, seed uint64, years int) (*fleetWorker, error) {
+	w := &fleetWorker{cfg: cfg, seed: seed, years: years, rng: simrand.New(0)}
+	w.dimmCfg = cfg.dimmConfig()
+	src, err := faultsim.NewTrialSource(&w.dimmCfg)
+	if err != nil {
+		return nil, err
+	}
+	w.src = src
+	schemes, err := cfg.schemes()
+	if err != nil {
+		return nil, err
+	}
+	w.ev = faultsim.NewEvaluator(&w.dimmCfg, schemes)
+	w.fast = w.ev.EmptyTrialsSurvive()
+	w.tally.FailedByYear = make([]uint64, years)
+	if cfg.Policy.Kind == PolicyHARP {
+		w.harpChip = dram.NewChip(cfg.Geom, ecc.NewCRC8ATM())
+	}
+	return w, nil
+}
+
+// runChunk ages DIMMs [lo, hi) of chunk c into the worker's tallies. It
+// returns false if ctx cancelled mid-chunk (tallies must be discarded).
+func (w *fleetWorker) runChunk(ctx context.Context, c, lo, hi int) bool {
+	w.resetChunk(lo, hi)
+	return w.scanChunk(ctx, c, lo, hi,
+		func(_, n int) {
+			w.tally.DIMMs += uint64(n)
+			w.tally.Arrivals[0] += uint64(n)
+		},
+		func(d int, recs []faultsim.FaultRecord) bool {
+			w.simDIMM(d, recs)
+			w.tally.DIMMs++
+			return true
+		})
+}
+
+func (w *fleetWorker) resetChunk(lo, hi int) {
+	w.tally.DIMMs, w.tally.Faults = 0, 0
+	w.tally.Failed, w.tally.DUEs, w.tally.SDCs = 0, 0, 0
+	w.tally.CEs, w.tally.CENoInfo, w.tally.UEs, w.tally.UENoInfo = 0, 0, 0, 0
+	w.tally.RetiredRows = 0
+	clear(w.tally.Arrivals[:])
+	clear(w.tally.FailedByYear)
+	w.mcLo = lo / w.cfg.DIMMsPerMC
+	mcHi := (hi-1)/w.cfg.DIMMsPerMC + 1
+	if need := mcHi - w.mcLo; need > cap(w.mcs) {
+		w.mcs = make([]MCCounters, need)
+	} else {
+		w.mcs = w.mcs[:need]
+		clear(w.mcs)
+	}
+}
+
+// scanChunk walks chunk c's DIMM range, reporting runs of zero-fault DIMMs
+// to onEmpty and each faulty DIMM's record stream to onDIMM (return false
+// to stop early). The RNG draw sequence is a pure function of (Config,
+// seed, c): the same skip-sampling fast path and boundary-overrun rule as
+// the campaign engine, so History replays exactly what runChunk aged.
+func (w *fleetWorker) scanChunk(ctx context.Context, c, lo, hi int, onEmpty func(at, n int), onDIMM func(d int, recs []faultsim.FaultRecord) bool) bool {
+	w.rng.SeedStream(w.seed, uint64(c))
+	w.src.ResetEvents()
+	if !w.fast {
+		// A scheme that fails empty trials makes skip-sampling unsound;
+		// draw every DIMM individually.
+		for d := lo; d < hi; d++ {
+			if (d-lo)&1023 == 0 && ctx.Err() != nil {
+				return false
+			}
+			w.buf = w.src.Trial(w.rng, w.buf[:0])
+			if len(w.buf) == 0 {
+				onEmpty(d, 1)
+			} else if !onDIMM(d, w.buf) {
+				return true
+			}
+		}
+		return true
+	}
+	for d := lo; d < hi; {
+		if (d-lo)&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
+		skipped, recs := w.src.NextNonEmpty(w.rng, w.buf)
+		w.buf = recs
+		if skipped >= hi-d {
+			// The rest of the chunk drew zero faults; the non-empty trial
+			// just generated belongs past the chunk boundary and is
+			// discarded (the next chunk reseeds its own substream).
+			onEmpty(d, hi-d)
+			return true
+		}
+		if skipped > 0 {
+			onEmpty(d, skipped)
+			d += skipped
+		}
+		if len(recs) == 0 {
+			onEmpty(d, 1) // aging thinning can still empty a trial
+		} else if !onDIMM(d, recs) {
+			return true
+		}
+		d++
+	}
+	return true
+}
+
+// simDIMM ages one faulty DIMM: applies the retirement policy to its
+// record stream, judges survival under the configured scheme, and books
+// scrub-pass CE telemetry and any UE to the DIMM's memory controller.
+func (w *fleetWorker) simDIMM(dimm int, recs []faultsim.FaultRecord) {
+	arrivals := 0
+	for i := range recs {
+		if !isExpansionCopy(&recs[i]) {
+			arrivals++
+		}
+	}
+	bin := arrivals
+	if bin >= ArrivalBins {
+		bin = ArrivalBins - 1
+	}
+	w.tally.Arrivals[bin]++
+	w.tally.Faults += uint64(arrivals)
+
+	// Retirement first: truncating a record's End is exactly what
+	// retiring its row does — the damage stops producing CEs and stops
+	// participating in uncorrectable combinations.
+	scrub := w.cfg.ScrubIntervalHours
+	for i := range recs {
+		r := &recs[i]
+		if end, retired := w.retireEnd(dimm, i, r, scrub); retired {
+			w.tally.RetiredRows++
+			if end < r.End {
+				r.End = end
+			}
+		}
+	}
+
+	w.outs = w.ev.EvaluateInto(recs, w.outs)
+	failTime, kind := w.outs[0].FailTime, w.outs[0].Kind
+
+	// CE telemetry: every scrub pass over live, non-silent damage logs
+	// one correctable-error report (XED exposes even on-die-corrected
+	// bit faults through catch-words — that is the paper's point).
+	// Telemetry stops at the DIMM's failure (the replacement is
+	// error-free), and whole-chip damage books to the noinfo counters.
+	mc := &w.mcs[dimm/w.cfg.DIMMsPerMC-w.mcLo]
+	for i := range recs {
+		r := &recs[i]
+		if r.Silent && r.Gran == dram.GranWord {
+			continue // the on-die code misses it: no catch-word, no CE
+		}
+		end := r.End
+		if failTime < end {
+			end = failTime
+		}
+		n := scrubTicksIn(r.Start, end, scrub)
+		if r.Gran == dram.GranChip {
+			mc.CENoInfo += n
+			w.tally.CENoInfo += n
+		} else {
+			mc.CE += n
+			w.tally.CEs += n
+		}
+	}
+
+	if math.IsInf(failTime, 1) {
+		return
+	}
+	w.tally.Failed++
+	yr := int(failTime / faultsim.HoursPerYear)
+	if yr >= w.years {
+		yr = w.years - 1
+	}
+	w.tally.FailedByYear[yr]++
+	switch kind {
+	case faultsim.FailDUE:
+		w.tally.DUEs++
+		// A detected uncorrectable error reaches the EDAC counters;
+		// whole-chip damage active at the failure instant means the
+		// report carries no useful source address.
+		if chipActiveAt(recs, failTime) {
+			mc.UENoInfo++
+			w.tally.UENoInfo++
+		} else {
+			mc.UE++
+			w.tally.UEs++
+		}
+	case faultsim.FailSDC:
+		w.tally.SDCs++ // silent: invisible to the monitor, no UE counter
+	}
+}
+
+// isExpansionCopy reports whether the record is a multi-rank event's
+// expanded copy (the generator emits the event once at Rank 0 and copies
+// it to each further rank under the same EventID).
+func isExpansionCopy(r *faultsim.FaultRecord) bool {
+	return r.EventID != 0 && r.Rank != 0
+}
+
+// chipActiveAt reports whether whole-chip damage is active at time t.
+func chipActiveAt(recs []faultsim.FaultRecord, t float64) bool {
+	for i := range recs {
+		r := &recs[i]
+		if r.Gran == dram.GranChip && r.Start <= t && t < r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// scrubTicksIn counts patrol-scrub instants k*scrub in (start, end].
+func scrubTicksIn(start, end, scrub float64) uint64 {
+	if end <= start {
+		return 0
+	}
+	n := math.Floor(end/scrub) - math.Floor(start/scrub)
+	if n <= 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+// nextScrubTick returns the first patrol-scrub instant strictly after
+// start, matching the transient-clearing rule of the fault generator.
+func nextScrubTick(start, scrub float64) float64 {
+	t := math.Ceil(start/scrub) * scrub
+	if t <= start {
+		t = start + scrub
+	}
+	return t
+}
+
+// retirableGran reports whether row/page retirement can contain the fault:
+// bit, word and row damage sits inside one row's footprint; column, bank
+// and chip damage does not.
+func retirableGran(g dram.Granularity) bool {
+	return g == dram.GranBit || g == dram.GranWord || g == dram.GranRow
+}
+
+// retireEnd decides whether the policy retires the record's row and, if
+// so, the instant the row leaves service. Retirement never consumes the
+// trial RNG — HARP profiling seeds derive from (seed, dimm, record index)
+// — so fault streams are policy-invariant.
+func (w *fleetWorker) retireEnd(dimm, idx int, r *faultsim.FaultRecord, scrub float64) (end float64, retired bool) {
+	p := w.cfg.Policy
+	if p.Kind == PolicyNone || !retirableGran(r.Gran) {
+		return 0, false
+	}
+	switch p.Kind {
+	case PolicyOnFirstCE, PolicyThreshold:
+		// CE-triggered policies: the OS acts on logged reports, so a
+		// silent fault never triggers them, and a transient one can (the
+		// scrub that clears it also logs it — capacity burned for no
+		// reliability gain, which is exactly what the economics compare).
+		if r.Silent && r.Gran == dram.GranWord {
+			return 0, false
+		}
+		n := 1
+		if p.Kind == PolicyThreshold {
+			n = p.Threshold
+		}
+		if scrubTicksIn(r.Start, r.End, scrub) < uint64(n) {
+			return 0, false // the fault never produces enough reports
+		}
+		return nextScrubTick(r.Start, scrub) + float64(n-1)*scrub, true
+	case PolicyHARP:
+		// Profile-triggered: a HARP-style active pass at the first scrub
+		// flags resident at-risk damage. Permanent faults repeat under
+		// profiling (silent ones included — direct read-back errors need
+		// no catch-word); transient damage is cleared by the profiling
+		// writes themselves and is left alone.
+		tick := nextScrubTick(r.Start, scrub)
+		if tick >= r.End {
+			return 0, false // gone (or out of horizon) before profiling
+		}
+		if !w.harpAtRisk(dimm, idx, r) {
+			return 0, false
+		}
+		return tick, true
+	}
+	return 0, false
+}
+
+// harpAtRisk runs an infer.ProfileChip pass over the words the record
+// damages, on a synthetic chip holding only that fault.
+func (w *fleetWorker) harpAtRisk(dimm, idx int, r *faultsim.FaultRecord) bool {
+	chip := w.harpChip
+	chip.ClearFaults()
+	chip.InjectFault(r.Range)
+	geom := w.cfg.Geom
+	addrs := w.harpAddrs[:0]
+	switch r.Gran {
+	case dram.GranBit, dram.GranWord:
+		addrs = append(addrs, dram.WordAddr{Bank: r.Range.Bank, Row: r.Range.Row, Col: r.Range.Col})
+	case dram.GranRow:
+		// Sample a few words across the damaged row; row faults corrupt
+		// a seed-derived pattern per word, so one clean probe word does
+		// not acquit the row.
+		cols := [4]int{0, 1, geom.ColsPerRow / 2, geom.ColsPerRow - 1}
+		for _, col := range cols {
+			a := dram.WordAddr{Bank: r.Range.Bank, Row: r.Range.Row, Col: col}
+			if len(addrs) == 0 || addrs[len(addrs)-1] != a {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	w.harpAddrs = addrs
+	prof := infer.ProfileChip(chip, addrs, infer.HARPOptions{
+		Rounds: 2,
+		Seed:   harpSeed(w.seed, dimm, idx),
+	})
+	for i := range prof.Words {
+		if prof.Words[i].AtRisk() {
+			return true
+		}
+	}
+	return false
+}
+
+// harpSeed derives a deterministic profiling seed independent of worker
+// scheduling and of the trial RNG.
+func harpSeed(seed uint64, dimm, idx int) uint64 {
+	x := seed ^ uint64(dimm)*0x9e3779b97f4a7c15 ^ uint64(idx)*0xbf58476d1ce4e5b9
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// DIMMHistory is one DIMM's field history, regenerated on demand from the
+// fleet's substreams rather than stored: exactly the records runChunk aged
+// (post-retirement Ends), the survival verdict, and the telemetry the DIMM
+// contributed.
+type DIMMHistory struct {
+	DIMM int `json:"dimm"`
+	// Arrivals counts fault events; Records carries the per-chip record
+	// stream with policy-truncated Ends (empty for a healthy DIMM).
+	Arrivals int                    `json:"arrivals"`
+	Records  []faultsim.FaultRecord `json:"records,omitempty"`
+	// Retired flags the records whose rows the policy retired.
+	Retired []bool `json:"retired,omitempty"`
+	// FailTime is +Inf for survivors; Kind classifies the failure.
+	FailTime float64           `json:"fail_time_hours"`
+	Kind     faultsim.FailKind `json:"-"`
+	KindName string            `json:"kind"`
+	// CEs / CENoInfo are the scrub-pass reports the DIMM logged.
+	CEs      uint64 `json:"ces"`
+	CENoInfo uint64 `json:"ce_noinfo"`
+}
+
+// MarshalJSON renders the history with a null fail time for survivors
+// (FailTime is +Inf in memory, which JSON cannot carry).
+func (h *DIMMHistory) MarshalJSON() ([]byte, error) {
+	type alias DIMMHistory
+	wire := struct {
+		*alias
+		FailTime *float64 `json:"fail_time_hours"`
+	}{alias: (*alias)(h)}
+	if !math.IsInf(h.FailTime, 1) {
+		wire.FailTime = &h.FailTime
+	}
+	return json.Marshal(wire)
+}
+
+// History regenerates one DIMM's fault history. The result is identical to
+// what a Run with the same (cfg, opts.Seed, opts.ChunkSize) aged for that
+// DIMM, at any worker count: the DIMM's chunk substream is replayed from
+// the chunk head through the DIMM.
+func History(cfg Config, opts Options, dimm int) (*DIMMHistory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dimm < 0 || dimm >= cfg.DIMMs {
+		return nil, fmt.Errorf("fleet: DIMM %d out of range [0, %d)", dimm, cfg.DIMMs)
+	}
+	chunkSize := opts.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	w, err := newFleetWorker(&cfg, opts.Seed, cfg.Years())
+	if err != nil {
+		return nil, err
+	}
+	c := dimm / chunkSize
+	lo := c * chunkSize
+	hi := lo + chunkSize
+	if hi > cfg.DIMMs {
+		hi = cfg.DIMMs
+	}
+	h := &DIMMHistory{DIMM: dimm, FailTime: math.Inf(1), Kind: faultsim.FailNone}
+	w.resetChunk(lo, hi)
+	w.scanChunk(context.Background(), c, lo, hi,
+		func(at, n int) {}, // a zero-fault DIMM keeps the healthy default
+		func(d int, recs []faultsim.FaultRecord) bool {
+			if d < dimm {
+				return true
+			}
+			if d > dimm {
+				return false
+			}
+			for i := range recs {
+				if !isExpansionCopy(&recs[i]) {
+					h.Arrivals++
+				}
+			}
+			h.Records = append([]faultsim.FaultRecord(nil), recs...)
+			h.Retired = make([]bool, len(h.Records))
+			scrub := cfg.ScrubIntervalHours
+			for i := range h.Records {
+				r := &h.Records[i]
+				if end, retired := w.retireEnd(d, i, r, scrub); retired {
+					h.Retired[i] = true
+					if end < r.End {
+						r.End = end
+					}
+				}
+			}
+			outs := w.ev.EvaluateInto(h.Records, nil)
+			h.FailTime, h.Kind = outs[0].FailTime, outs[0].Kind
+			for i := range h.Records {
+				r := &h.Records[i]
+				if r.Silent && r.Gran == dram.GranWord {
+					continue
+				}
+				end := r.End
+				if h.FailTime < end {
+					end = h.FailTime
+				}
+				n := scrubTicksIn(r.Start, end, scrub)
+				if r.Gran == dram.GranChip {
+					h.CENoInfo += n
+				} else {
+					h.CEs += n
+				}
+			}
+			return false
+		})
+	h.KindName = h.Kind.String()
+	return h, nil
+}

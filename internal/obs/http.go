@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 )
 
 // NewMux returns the debug HTTP mux the -debug-addr CLI flags serve: the
@@ -19,7 +21,31 @@ import (
 // coordinator or a full job queue tells its load balancer to back off.
 // With no checks, /readyz always answers 200.
 func NewMux(r *Registry, ready ...func() error) *http.ServeMux {
+	return NewMuxViews(r, nil, ready...)
+}
+
+// NewMuxViews is NewMux plus caller-supplied views: extra handlers mounted
+// at their given paths (e.g. "/edac" serving a fleet's EDAC-sysfs-shaped
+// counter dump) and linked from the index page, so domain-specific textual
+// exports ride the same debug port as /metrics without the obs package
+// knowing their shape. A view path must start with "/" and must not
+// collide with the built-in endpoints; colliding views panic, since they
+// would otherwise shadow the probes load balancers depend on.
+func NewMuxViews(r *Registry, views map[string]http.Handler, ready ...func() error) *http.ServeMux {
 	mux := http.NewServeMux()
+	reserved := map[string]bool{
+		"/": true, "/healthz": true, "/readyz": true,
+		"/metrics": true, "/debug/vars": true, "/debug/pprof/": true,
+	}
+	viewPaths := make([]string, 0, len(views))
+	for path, h := range views {
+		if len(path) == 0 || path[0] != '/' || reserved[path] || h == nil {
+			panic("obs: invalid or reserved view path " + path)
+		}
+		mux.Handle(path, h)
+		viewPaths = append(viewPaths, path)
+	}
+	sort.Strings(viewPaths)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n")) //nolint:errcheck // best-effort over HTTP
@@ -53,11 +79,15 @@ func NewMux(r *Registry, ready ...func() error) *http.ServeMux {
 			http.NotFound(w, req)
 			return
 		}
+		var links strings.Builder
+		links.WriteString(`<li><a href="/metrics">/metrics</a></li>`)
+		for _, p := range viewPaths {
+			links.WriteString(`<li><a href="` + p + `">` + p + `</a></li>`)
+		}
+		links.WriteString(`<li><a href="/debug/pprof/">/debug/pprof/</a></li>`)
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write([]byte(`<html><body><h1>xedsim debug</h1><ul>` + //nolint:errcheck
-			`<li><a href="/metrics">/metrics</a></li>` +
-			`<li><a href="/debug/pprof/">/debug/pprof/</a></li>` +
-			`</ul></body></html>`))
+			links.String() + `</ul></body></html>`))
 	})
 	return mux
 }

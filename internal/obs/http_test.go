@@ -113,3 +113,70 @@ func TestMuxServesMetricsAndPprof(t *testing.T) {
 		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestMuxViews: caller-supplied views mount at their paths and are linked
+// from the index page (the xedfleet /edac contract).
+func TestMuxViews(t *testing.T) {
+	view := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("view body\n")) //nolint:errcheck
+	})
+	srv := httptest.NewServer(NewMuxViews(NewRegistry(), map[string]http.Handler{"/edac": view}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/edac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "view body\n" {
+		t.Fatalf("/edac = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(index), `href="/edac"`) {
+		t.Fatalf("index page does not link the view:\n%s", index)
+	}
+
+	// Built-ins still work alongside views.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz with views = %d", resp.StatusCode)
+	}
+}
+
+// TestMuxViewsRejectsBadPaths: reserved or malformed view paths panic at
+// construction — a view silently shadowing /readyz would blind the load
+// balancer probes.
+func TestMuxViewsRejectsBadPaths(t *testing.T) {
+	ok := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+	cases := map[string]map[string]http.Handler{
+		"reserved root":    {"/": ok},
+		"reserved healthz": {"/healthz": ok},
+		"reserved readyz":  {"/readyz": ok},
+		"reserved metrics": {"/metrics": ok},
+		"reserved pprof":   {"/debug/pprof/": ok},
+		"no leading slash": {"edac": ok},
+		"empty path":       {"": ok},
+		"nil handler":      {"/edac": nil},
+	}
+	for name, views := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewMuxViews did not panic", name)
+				}
+			}()
+			NewMuxViews(NewRegistry(), views)
+		}()
+	}
+}
